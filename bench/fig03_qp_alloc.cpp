@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: throughput of 8-byte READ/WRITE under the
+ * four QP allocation policies (shared QP, multiplexed QP, per-thread QP,
+ * per-thread doorbell) as the thread count grows. Concurrency depth is 8
+ * outstanding WRs per thread, matching §3.1.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/rdma_bench.hpp"
+#include "sim/table.hpp"
+
+using namespace smart;
+using namespace smart::harness;
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+    std::vector<std::uint32_t> threads =
+        quick ? std::vector<std::uint32_t>{8, 32, 96}
+              : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 24, 32,
+                                           48, 64, 80, 96};
+    const std::vector<QpPolicy> policies = {
+        QpPolicy::SharedQp, QpPolicy::MultiplexedQp, QpPolicy::PerThreadQp,
+        QpPolicy::PerThreadDb};
+
+    for (rnic::Op op : {rnic::Op::Read, rnic::Op::Write}) {
+        const char *op_name = op == rnic::Op::Read ? "READ" : "WRITE";
+        std::cout << "== Figure 3: 8-byte " << op_name
+                  << " throughput (MOP/s), depth=8 ==\n";
+        sim::Table table({"threads", "shared-qp", "multiplexed-qp",
+                          "per-thread-qp", "per-thread-db"});
+        for (std::uint32_t t : threads) {
+            table.row().cell(static_cast<std::uint64_t>(t));
+            for (QpPolicy policy : policies) {
+                TestbedConfig cfg;
+                cfg.computeBlades = 1;
+                cfg.memoryBlades = 1;
+                cfg.threadsPerBlade = t;
+                cfg.smart = presets::baseline(); // §3: no SMART features
+                cfg.smart.qpPolicy = policy;
+                cfg.smart.corosPerThread = 1;
+
+                RdmaBenchParams params;
+                params.op = op;
+                params.blockSize = 8;
+                params.depth = 8;
+                if (quick)
+                    params.measureNs = sim::msec(2);
+
+                RdmaBenchResult r = runRdmaBench(cfg, params);
+                table.cell(r.mops, 1);
+            }
+        }
+        table.print();
+        table.writeCsv(std::string("fig03_") +
+                       (op == rnic::Op::Read ? "read" : "write") + ".csv");
+        std::cout << "\n";
+    }
+    std::cout << "Paper shape: per-thread QP/DB dominate below 32 threads "
+                 "(2.4x-130x over multiplexing); per-thread QP collapses "
+                 "beyond 32 threads (halved by 96); per-thread doorbell "
+                 "sustains ~110 MOP/s for READs.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: committed-transaction throughput of
+ * FORD+ vs SMART-DTX on SmallBank and TATP as the thread count grows.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/dtx_bench.hpp"
+#include "sim/table.hpp"
+
+using namespace smart;
+using namespace smart::harness;
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+    std::vector<std::uint32_t> threads =
+        quick ? std::vector<std::uint32_t>{24, 96}
+              : std::vector<std::uint32_t>{8, 16, 24, 32, 40, 48, 56, 64,
+                                           72, 80, 96};
+
+    for (DtxWorkload w : {DtxWorkload::SmallBank, DtxWorkload::Tatp}) {
+        std::cout << "== Figure 10 (" << dtxWorkloadName(w)
+                  << "): committed Mtxn/s vs threads ==\n";
+        sim::Table t({"threads", "FORD+", "SMART-DTX", "FORD+_aborts/txn",
+                      "SMART_aborts/txn"});
+        for (std::uint32_t thr : threads) {
+            DtxBenchParams p;
+            p.workload = w;
+            p.threads = thr;
+            p.numAccounts = quick ? 20'000 : 100'000;
+            p.measureNs = quick ? sim::msec(2) : sim::msec(4);
+            p.smartOn = false;
+            DtxBenchResult base = runDtxBench(p);
+            p.smartOn = true;
+            DtxBenchResult sm = runDtxBench(p);
+            t.row()
+                .cell(static_cast<std::uint64_t>(thr))
+                .cell(base.mtps, 2)
+                .cell(sm.mtps, 2)
+                .cell(base.abortRate, 2)
+                .cell(sm.abortRate, 2);
+        }
+        t.print();
+        t.writeCsv(std::string("fig10_") + dtxWorkloadName(w) + ".csv");
+        std::cout << "\n";
+    }
+    std::cout << "Paper shape: FORD+ peaks at 24 (SmallBank) / 32 (TATP) "
+                 "threads then degrades from doorbell contention; "
+                 "SMART-DTX keeps scaling (up to 5.2x on SmallBank, 2.6x "
+                 "on TATP at 96 threads).\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: Sherman+ vs Sherman+ w/ SL vs SMART-BT
+ * across the three YCSB mixes — (a)-(c) scale-up on one server,
+ * (d)-(f) scale-out over multiple servers (each server = one memory
+ * blade + one 94-thread compute blade, as in the paper).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/bt_bench.hpp"
+#include "sim/table.hpp"
+
+using namespace smart;
+using namespace smart::harness;
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    std::uint64_t keys = quick ? 300'000 : 1'000'000;
+
+    const std::vector<workload::YcsbMix> mixes = {
+        workload::YcsbMix::writeHeavy(), workload::YcsbMix::readHeavy(),
+        workload::YcsbMix::readOnly()};
+    const std::vector<BtVariant> variants = {
+        BtVariant::ShermanPlus, BtVariant::ShermanPlusSl,
+        BtVariant::SmartBt};
+
+    // ---- (a)-(c): scale-up, one server ----
+    std::vector<std::uint32_t> threads =
+        quick ? std::vector<std::uint32_t>{24, 94}
+              : std::vector<std::uint32_t>{8, 16, 32, 48, 64, 94};
+    for (const auto &mix : mixes) {
+        std::cout << "== Figure 12 scale-up (" << mix.name()
+                  << "): MOP/s, 1 server ==\n";
+        sim::Table t({"threads", "Sherman+", "Sherman+_w/SL", "SMART-BT"});
+        for (std::uint32_t thr : threads) {
+            t.row().cell(static_cast<std::uint64_t>(thr));
+            for (BtVariant v : variants) {
+                BtBenchParams p;
+                p.variant = v;
+                p.numKeys = keys;
+                p.servers = 1;
+                p.threadsPerServer = thr;
+                p.mix = mix;
+                p.measureNs = quick ? sim::msec(2) : sim::msec(4);
+                t.cell(runBtBench(p).mops, 2);
+            }
+        }
+        t.print();
+        t.writeCsv(std::string("fig12_scaleup_") + mix.name() + ".csv");
+        std::cout << "\n";
+    }
+
+    // ---- (d)-(f): scale-out, 94 threads per server ----
+    std::vector<std::uint32_t> servers =
+        quick ? std::vector<std::uint32_t>{1, 2}
+              : std::vector<std::uint32_t>{1, 2, 4, 6};
+    for (const auto &mix : mixes) {
+        std::cout << "== Figure 12 scale-out (" << mix.name()
+                  << "): MOP/s, 94 threads per server ==\n";
+        sim::Table t({"servers", "Sherman+", "Sherman+_w/SL", "SMART-BT"});
+        for (std::uint32_t sv : servers) {
+            t.row().cell(static_cast<std::uint64_t>(sv));
+            for (BtVariant v : variants) {
+                BtBenchParams p;
+                p.variant = v;
+                p.numKeys = keys;
+                p.servers = sv;
+                p.threadsPerServer = 94;
+                p.mix = mix;
+                p.measureNs = quick ? sim::msec(2) : sim::msec(4);
+                t.cell(runBtBench(p).mops, 2);
+            }
+        }
+        t.print();
+        t.writeCsv(std::string("fig12_scaleout_") + mix.name() + ".csv");
+        std::cout << "\n";
+    }
+
+    std::cout << "Paper shape: speculative lookup converts the workload "
+                 "from bandwidth- to IOPS-bound (up to 1.6x on "
+                 "read-heavy), but alone stops scaling beyond ~64 "
+                 "threads; SMART-BT adds thread-aware allocation and "
+                 "reaches ~2x Sherman+ on read-only.\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: (a) 8-byte READ throughput for per-thread
+ * QP / per-thread context / +ThdResAlloc / +WorkReqThrot as threads grow
+ * (batch 16), and (b) the same policies as the work-request batch size
+ * grows at 96 threads.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/rdma_bench.hpp"
+#include "sim/table.hpp"
+
+using namespace smart;
+using namespace smart::harness;
+
+namespace {
+
+struct Policy
+{
+    const char *name;
+    SmartConfig cfg;
+};
+
+std::vector<Policy>
+policies()
+{
+    SmartConfig per_thread_qp = presets::baseline();
+    SmartConfig per_thread_ctx = presets::baseline();
+    per_thread_ctx.qpPolicy = QpPolicy::PerThreadContext;
+    SmartConfig thd_res = presets::thdResAlloc();
+    SmartConfig throt = presets::workReqThrot();
+    applyBenchTimescale(throt);
+    return {
+        {"per-thread-qp", per_thread_qp},
+        {"per-thread-ctx", per_thread_ctx},
+        {"+ThdResAlloc", thd_res},
+        {"+WorkReqThrot", throt},
+    };
+}
+
+double
+run(const SmartConfig &smart, std::uint32_t threads, std::uint32_t batch,
+    bool quick)
+{
+    TestbedConfig cfg;
+    cfg.computeBlades = 1;
+    cfg.memoryBlades = 1;
+    cfg.threadsPerBlade = threads;
+    cfg.smart = smart;
+    cfg.smart.corosPerThread = 1;
+
+    RdmaBenchParams params;
+    params.depth = batch;
+    params.warmupNs = smart.workReqThrottle ? sim::msec(8) : sim::msec(1);
+    params.measureNs = quick ? sim::msec(2) : sim::msec(4);
+    return runRdmaBench(cfg, params).mops;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    std::vector<Policy> pols = policies();
+
+    std::cout << "== Figure 13a: 8-byte READ MOP/s vs threads "
+                 "(batch = 16) ==\n";
+    sim::Table a({"threads", "per-thread-qp", "per-thread-ctx",
+                  "+ThdResAlloc", "+WorkReqThrot"});
+    std::vector<std::uint32_t> threads =
+        quick ? std::vector<std::uint32_t>{24, 96}
+              : std::vector<std::uint32_t>{8, 16, 24, 32, 48, 56, 64, 80,
+                                           96};
+    for (std::uint32_t t : threads) {
+        a.row().cell(static_cast<std::uint64_t>(t));
+        for (const Policy &p : pols)
+            a.cell(run(p.cfg, t, 16, quick), 1);
+    }
+    a.print();
+    a.writeCsv("fig13a.csv");
+
+    std::cout << "\n== Figure 13b: 8-byte READ MOP/s vs batch size "
+                 "(96 threads) ==\n";
+    sim::Table b({"batch", "per-thread-qp", "per-thread-ctx",
+                  "+ThdResAlloc", "+WorkReqThrot"});
+    std::vector<std::uint32_t> batches =
+        quick ? std::vector<std::uint32_t>{8, 64}
+              : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32, 64};
+    for (std::uint32_t bs : batches) {
+        b.row().cell(static_cast<std::uint64_t>(bs));
+        for (const Policy &p : pols)
+            b.cell(run(p.cfg, 96, bs, quick), 1);
+    }
+    b.print();
+    b.writeCsv("fig13b.csv");
+
+    std::cout << "\nPaper shape: +ThdResAlloc reaches the 110 MOP/s "
+                 "hardware limit (up to 4.3x over per-thread QP, ~1.9x "
+                 "over per-thread context); +WorkReqThrot stays at the "
+                 "limit for 56+ threads and for batch sizes > 8.\n";
+    return 0;
+}

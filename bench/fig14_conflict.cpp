@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reproduces paper Figure 14: conflict avoidance on 100%-update SMART-HT
+ * (theta = 0.99) — (a) throughput, (b) average retries per operation for
+ * none / +Backoff / +DynLimit / +CoroThrot, and (c) the retry-count
+ * distribution at 96 threads.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/ht_bench.hpp"
+#include "sim/table.hpp"
+
+using namespace smart;
+using namespace smart::harness;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    SmartConfig cfg;
+};
+
+std::vector<Variant>
+variants()
+{
+    SmartConfig none = presets::workReqThrot(); // ThdRes + Throttle only
+    SmartConfig backoff = none;
+    backoff.backoff = true;
+    SmartConfig dynlim = backoff;
+    dynlim.dynBackoffLimit = true;
+    SmartConfig full = presets::full();
+    return {{"none", none},
+            {"+Backoff", backoff},
+            {"+DynLimit", dynlim},
+            {"+CoroThrot", full}};
+}
+
+HtBenchResult
+run(const SmartConfig &smart, std::uint32_t threads, std::uint64_t keys,
+    bool quick)
+{
+    TestbedConfig cfg;
+    cfg.computeBlades = 1;
+    cfg.memoryBlades = 2;
+    cfg.threadsPerBlade = threads;
+    cfg.bladeBytes = 3ull << 30;
+    cfg.smart = smart;
+    applyBenchTimescale(cfg.smart);
+
+    HtBenchParams p;
+    p.numKeys = keys;
+    p.mix = workload::YcsbMix::updateOnly();
+    p.warmupNs = sim::msec(8);
+    p.measureNs = quick ? sim::msec(2) : sim::msec(4);
+    return runHtBench(cfg, p);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    std::uint64_t keys = quick ? 200'000 : 1'000'000;
+    std::vector<Variant> vars = variants();
+
+    std::cout << "== Figure 14a: update-only MOP/s (theta = 0.99) ==\n";
+    sim::Table a({"threads", "none", "+Backoff", "+DynLimit",
+                  "+CoroThrot"});
+    std::cout << "== Figure 14b rows interleaved below (avg retries) ==\n";
+    sim::Table b({"threads", "none", "+Backoff", "+DynLimit",
+                  "+CoroThrot"});
+    std::vector<std::uint32_t> threads =
+        quick ? std::vector<std::uint32_t>{16, 96}
+              : std::vector<std::uint32_t>{8, 16, 32, 48, 64, 96};
+
+    std::vector<HtBenchResult> at96(vars.size());
+    for (std::uint32_t t : threads) {
+        a.row().cell(static_cast<std::uint64_t>(t));
+        b.row().cell(static_cast<std::uint64_t>(t));
+        for (std::size_t v = 0; v < vars.size(); ++v) {
+            HtBenchResult r = run(vars[v].cfg, t, keys, quick);
+            a.cell(r.mops, 2);
+            b.cell(r.avgRetries, 2);
+            if (t == 96)
+                at96[v] = r;
+        }
+    }
+    a.print();
+    a.writeCsv("fig14a.csv");
+    std::cout << "\n== Figure 14b: average retries per update ==\n";
+    b.print();
+    b.writeCsv("fig14b.csv");
+
+    std::cout << "\n== Figure 14c: retry-count distribution at 96 threads "
+                 "(% of updates) ==\n";
+    sim::Table c({"retries", "none", "+Backoff", "+DynLimit",
+                  "+CoroThrot"});
+    for (int bucket = 0; bucket <= 8; ++bucket) {
+        c.row().cell(bucket == 8 ? std::string(">=8")
+                                 : std::to_string(bucket));
+        for (std::size_t v = 0; v < vars.size(); ++v) {
+            std::uint64_t total = 0;
+            for (int i = 0; i < 64; ++i)
+                total += at96[v].retryHist[i];
+            std::uint64_t n = 0;
+            if (bucket == 8) {
+                for (int i = 8; i < 64; ++i)
+                    n += at96[v].retryHist[i];
+            } else {
+                n = at96[v].retryHist[bucket];
+            }
+            c.cell(total ? 100.0 * static_cast<double>(n) / total : 0.0, 1);
+        }
+    }
+    c.print();
+    c.writeCsv("fig14c.csv");
+
+    std::cout << "\nPaper shape: without conflict avoidance ~11.5 retries "
+                 "per update at 96 threads vs ~1.1 with it; 93.3% of "
+                 "SMART updates need no retry; +DynLimit ~1.6x over "
+                 "+Backoff; +CoroThrot up to +67% more.\n";
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Reproduces paper Table 1: 8-byte READ throughput under a dynamically
+ * changing workload — the number of active threads jumps randomly in
+ * [36, 96] at a fixed interval, with and without adaptive work-request
+ * throttling. Batch size 64, per-thread doorbells.
+ *
+ * Timescale note: the paper changes the workload every 32-2048 ms
+ * against a 480 ms epoch; the benches scale the epoch by 8x (probe 1 ms,
+ * stable 20 ms => ~25 ms epoch), so the interval sweep is scaled the
+ * same way (4-256 ms). The comparison "interval shorter vs longer than
+ * the epoch" is preserved.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/testbed.hpp"
+#include "sim/random.hpp"
+#include "sim/table.hpp"
+#include "smart/smart_ctx.hpp"
+
+using namespace smart;
+using namespace smart::harness;
+using sim::Task;
+using sim::Time;
+
+namespace {
+
+struct Shared
+{
+    std::uint32_t activeThreads = 96;
+};
+
+Task
+dynWorker(SmartCtx &ctx, const Shared &shared, std::uint32_t batch)
+{
+    SmartRuntime &rt = ctx.runtime();
+    sim::Rng rng(0xd15c0 + ctx.thread().id());
+    std::uint8_t *buf = ctx.scratch(batch * 8);
+    const std::uint64_t slots = (1ull << 28) / 64;
+    for (;;) {
+        if (ctx.thread().id() >= shared.activeThreads) {
+            co_await ctx.sim().delay(sim::usec(50));
+            continue;
+        }
+        for (std::uint32_t i = 0; i < batch; ++i)
+            ctx.read(rt.ptr(0, rng.uniform(slots) * 64), buf + i * 8, 8);
+        co_await ctx.postSend();
+        co_await ctx.sync();
+    }
+}
+
+Task
+controller(sim::Simulator &sim, Shared &shared, Time interval)
+{
+    sim::Rng rng(42);
+    for (;;) {
+        co_await sim.delay(interval);
+        shared.activeThreads =
+            static_cast<std::uint32_t>(rng.uniformRange(36, 96));
+    }
+}
+
+double
+run(bool throttle, Time interval, Time window)
+{
+    TestbedConfig cfg;
+    cfg.computeBlades = 1;
+    cfg.memoryBlades = 1;
+    cfg.bladeBytes = 1ull << 28;
+    cfg.threadsPerBlade = 96;
+    cfg.smart = throttle ? presets::workReqThrot() : presets::thdResAlloc();
+    cfg.smart.corosPerThread = 1;
+    applyBenchTimescale(cfg.smart);
+
+    Testbed tb(cfg);
+    Shared shared;
+    for (std::uint32_t t = 0; t < 96; ++t) {
+        tb.compute(0).spawnWorker(t, [&shared](SmartCtx &ctx) {
+            return dynWorker(ctx, shared, 64);
+        });
+    }
+    tb.sim().spawn(controller(tb.sim(), shared, interval));
+
+    Time warmup = sim::msec(8);
+    tb.sim().runUntil(warmup);
+    std::uint64_t wrs0 = tb.compute(0).rnic().perf().wrsCompleted.value();
+    tb.sim().runUntil(warmup + window);
+    std::uint64_t wrs =
+        tb.compute(0).rnic().perf().wrsCompleted.value() - wrs0;
+    return static_cast<double>(wrs) /
+           (static_cast<double>(window) / 1000.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+    std::vector<Time> intervals =
+        quick ? std::vector<Time>{sim::msec(4), sim::msec(64)}
+              : std::vector<Time>{sim::msec(4),  sim::msec(8),
+                                  sim::msec(16), sim::msec(32),
+                                  sim::msec(64), sim::msec(128),
+                                  sim::msec(256)};
+
+    std::cout << "== Table 1: 8-byte READ MOP/s under dynamically "
+                 "changing thread counts (36-96), batch = 64 ==\n";
+    sim::Table t({"interval_ms", "w/o WorkReqThrot", "w/ WorkReqThrot"});
+    for (Time iv : intervals) {
+        Time window = quick ? sim::msec(12)
+                            : std::max<Time>(sim::msec(24), 3 * iv);
+        double off = run(false, iv, window);
+        double on = run(true, iv, window);
+        t.row()
+            .cell(static_cast<std::uint64_t>(iv / 1000000))
+            .cell(off, 1)
+            .cell(on, 1);
+    }
+    t.print();
+    t.writeCsv("table1.csv");
+    std::cout << "\nPaper shape: with throttling, throughput is near the "
+                 "110 MOP/s limit once the change interval exceeds the "
+                 "epoch, and degrades by at most ~13% below it; without "
+                 "throttling it sits far lower at every interval.\n";
+    return 0;
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * SmallBank (H-Store benchmark) over the FORD-style transaction layer:
+ * two tables (savings, checking), six transaction profiles, 85%
+ * read-write as in the paper (§6.2.2).
+ */
+
+#ifndef SMART_APPS_FORD_SMALLBANK_HPP
+#define SMART_APPS_FORD_SMALLBANK_HPP
+
+#include <cstdint>
+#include <cstring>
+
+#include "apps/ford/dtx.hpp"
+#include "sim/random.hpp"
+
+namespace smart::ford {
+
+/** Account balances are signed 64-bit, stored in payload[0..8). */
+inline std::int64_t
+recordBalance(const Record &r)
+{
+    std::int64_t v = 0;
+    std::memcpy(&v, r.payload, 8);
+    return v;
+}
+
+inline void
+setRecordBalance(Record &r, std::int64_t v)
+{
+    std::memcpy(r.payload, &v, 8);
+}
+
+/** The SmallBank schema + transaction profiles. */
+class SmallBank
+{
+  public:
+    static constexpr std::int64_t kInitialBalance = 10000;
+
+    SmallBank(DtxSystem &sys, std::uint64_t num_accounts)
+        : sys_(sys), numAccounts_(num_accounts),
+          savings_(sys.createTable(roundPow2(num_accounts * 2))),
+          checking_(sys.createTable(roundPow2(num_accounts * 2)))
+    {
+        std::int64_t init = kInitialBalance;
+        for (std::uint64_t a = 0; a < num_accounts; ++a) {
+            savings_.loadRecord(a, &init, 8);
+            checking_.loadRecord(a, &init, 8);
+        }
+    }
+
+    std::uint64_t numAccounts() const { return numAccounts_; }
+
+    /** Balance: read-only, savings + checking of one account. */
+    sim::Task
+    txBalance(SmartCtx &ctx, std::uint64_t a, DtxResult &res)
+    {
+        for (int attempt = 0; attempt < 4096; ++attempt) {
+            Dtx tx(sys_, ctx);
+            tx.addRead(savings_, a);
+            tx.addRead(checking_, a);
+            co_await tx.fetch(res);
+            bool consistent = false;
+            co_await tx.validateReadOnly(res, consistent);
+            if (consistent) {
+                res.committed = true;
+                co_return;
+            }
+            ++res.aborts;
+        }
+    }
+
+    /** DepositChecking: RW checking(a). */
+    sim::Task
+    txDepositChecking(SmartCtx &ctx, std::uint64_t a, std::int64_t amount,
+                      DtxResult &res)
+    {
+        for (int attempt = 0; attempt < 4096; ++attempt) {
+            Dtx tx(sys_, ctx);
+            tx.addWrite(checking_, a);
+            co_await tx.fetch(res);
+            Record &r = tx.writeImage(0);
+            setRecordBalance(r, recordBalance(r) + amount);
+            co_await tx.commit(res);
+            if (res.committed)
+                co_return;
+        }
+    }
+
+    /** TransactSaving: RW savings(a). */
+    sim::Task
+    txTransactSaving(SmartCtx &ctx, std::uint64_t a, std::int64_t amount,
+                     DtxResult &res)
+    {
+        for (int attempt = 0; attempt < 4096; ++attempt) {
+            Dtx tx(sys_, ctx);
+            tx.addWrite(savings_, a);
+            co_await tx.fetch(res);
+            Record &r = tx.writeImage(0);
+            setRecordBalance(r, recordBalance(r) + amount);
+            co_await tx.commit(res);
+            if (res.committed)
+                co_return;
+        }
+    }
+
+    /** Amalgamate: move all funds of a (sav+chk) into checking(b). */
+    sim::Task
+    txAmalgamate(SmartCtx &ctx, std::uint64_t a, std::uint64_t b,
+                 DtxResult &res)
+    {
+        if (a == b)
+            b = (b + 1) % numAccounts_;
+        for (int attempt = 0; attempt < 4096; ++attempt) {
+            Dtx tx(sys_, ctx);
+            tx.addWrite(savings_, a);
+            tx.addWrite(checking_, a);
+            tx.addWrite(checking_, b);
+            co_await tx.fetch(res);
+            std::int64_t total = recordBalance(tx.writeImage(0)) +
+                                 recordBalance(tx.writeImage(1));
+            setRecordBalance(tx.writeImage(0), 0);
+            setRecordBalance(tx.writeImage(1), 0);
+            setRecordBalance(tx.writeImage(2),
+                             recordBalance(tx.writeImage(2)) + total);
+            co_await tx.commit(res);
+            if (res.committed)
+                co_return;
+        }
+    }
+
+    /** WriteCheck: read savings(a), deduct from checking(a). */
+    sim::Task
+    txWriteCheck(SmartCtx &ctx, std::uint64_t a, std::int64_t amount,
+                 DtxResult &res)
+    {
+        for (int attempt = 0; attempt < 4096; ++attempt) {
+            Dtx tx(sys_, ctx);
+            tx.addRead(savings_, a);
+            tx.addWrite(checking_, a);
+            co_await tx.fetch(res);
+            std::int64_t penalty =
+                recordBalance(tx.readImage(0)) +
+                            recordBalance(tx.writeImage(0)) <
+                        amount
+                    ? 1
+                    : 0;
+            setRecordBalance(tx.writeImage(0),
+                             recordBalance(tx.writeImage(0)) - amount -
+                                 penalty);
+            co_await tx.commit(res);
+            if (res.committed)
+                co_return;
+        }
+    }
+
+    /** SendPayment: move amount from checking(a) to checking(b). */
+    sim::Task
+    txSendPayment(SmartCtx &ctx, std::uint64_t a, std::uint64_t b,
+                  std::int64_t amount, DtxResult &res)
+    {
+        if (a == b)
+            b = (b + 1) % numAccounts_;
+        for (int attempt = 0; attempt < 4096; ++attempt) {
+            Dtx tx(sys_, ctx);
+            tx.addWrite(checking_, a);
+            tx.addWrite(checking_, b);
+            co_await tx.fetch(res);
+            setRecordBalance(tx.writeImage(0),
+                             recordBalance(tx.writeImage(0)) - amount);
+            setRecordBalance(tx.writeImage(1),
+                             recordBalance(tx.writeImage(1)) + amount);
+            co_await tx.commit(res);
+            if (res.committed)
+                co_return;
+        }
+    }
+
+    /**
+     * Run one transaction drawn from the standard SmallBank mix:
+     * 15% balance (read-only), 85% read-write.
+     */
+    sim::Task
+    runOne(SmartCtx &ctx, sim::Rng &rng, sim::ZipfianGenerator &accounts,
+           DtxResult &res)
+    {
+        std::uint64_t a = accounts.next();
+        std::uint64_t b = accounts.next();
+        double p = rng.uniformDouble();
+        if (p < 0.15)
+            co_await txBalance(ctx, a, res);
+        else if (p < 0.30)
+            co_await txDepositChecking(ctx, a, 130, res);
+        else if (p < 0.45)
+            co_await txTransactSaving(ctx, a, 20, res);
+        else if (p < 0.60)
+            co_await txAmalgamate(ctx, a, b, res);
+        else if (p < 0.85)
+            co_await txWriteCheck(ctx, a, 50, res);
+        else
+            co_await txSendPayment(ctx, a, b, 5, res);
+    }
+
+    /** Host-side sum of every balance (conservation invariant). */
+    std::int64_t
+    hostTotal()
+    {
+        std::int64_t sum = 0;
+        for (std::uint64_t a = 0; a < numAccounts_; ++a) {
+            sum += recordBalance(*savings_.hostRecord(a));
+            sum += recordBalance(*checking_.hostRecord(a));
+        }
+        return sum;
+    }
+
+    /** Host check: backup replicas match primaries for account @p a. */
+    bool
+    replicasConsistent(std::uint64_t a)
+    {
+        return recordBalance(*savings_.hostRecord(a)) ==
+                   recordBalance(*savings_.hostBackupRecord(a)) &&
+               recordBalance(*checking_.hostRecord(a)) ==
+                   recordBalance(*checking_.hostBackupRecord(a));
+    }
+
+    DtxTable &savings() { return savings_; }
+    DtxTable &checking() { return checking_; }
+
+  private:
+    static std::uint64_t
+    roundPow2(std::uint64_t v)
+    {
+        std::uint64_t p = 1;
+        while (p < v)
+            p <<= 1;
+        return p;
+    }
+
+    DtxSystem &sys_;
+    std::uint64_t numAccounts_;
+    DtxTable &savings_;
+    DtxTable &checking_;
+};
+
+} // namespace smart::ford
+
+#endif // SMART_APPS_FORD_SMALLBANK_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A disaggregated parameter server — the third class of IOPS-bound
+ * application the paper's introduction motivates (alongside caches and
+ * OLTP). Embedding vectors live sharded across memory blades; workers
+ * `pull` rows with batched READs and `push` gradients with batched FAAs,
+ * so concurrent updates merge without locks or retries.
+ */
+
+#ifndef SMART_APPS_PARAMSERVER_PARAM_SERVER_HPP
+#define SMART_APPS_PARAMSERVER_PARAM_SERVER_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "memblade/memory_blade.hpp"
+#include "smart/smart_ctx.hpp"
+#include "smart/smart_runtime.hpp"
+
+namespace smart::paramserver {
+
+/**
+ * Fixed-point embedding table: `numRows` rows of `dim` 64-bit values
+ * (applications scale floats by a constant; FAA needs integers).
+ */
+class ParamServer
+{
+  public:
+    ParamServer(std::vector<memblade::MemoryBlade *> blades,
+                std::uint64_t num_rows, std::uint32_t dim)
+        : blades_(std::move(blades)), numRows_(num_rows), dim_(dim)
+    {
+        rowBytes_ = dim_ * 8ull;
+        for (auto *blade : blades_) {
+            std::uint64_t rows_here =
+                (num_rows + blades_.size() - 1) / blades_.size();
+            std::uint64_t base = blade->alloc(rows_here * rowBytes_, 64);
+            std::memset(blade->bytesAt(base), 0, rows_here * rowBytes_);
+            shardBase_.push_back(base);
+        }
+    }
+
+    std::uint64_t numRows() const { return numRows_; }
+    std::uint32_t dim() const { return dim_; }
+
+    /** Blade index holding @p row. */
+    std::uint32_t
+    shardOf(std::uint64_t row) const
+    {
+        return static_cast<std::uint32_t>(row % blades_.size());
+    }
+
+    /** Byte offset of @p row within its shard blade. */
+    std::uint64_t
+    rowOffset(std::uint64_t row) const
+    {
+        return shardBase_[shardOf(row)] +
+               (row / blades_.size()) * rowBytes_;
+    }
+
+    /**
+     * Fetch @p rows into @p out (row-major, dim() values per row).
+     * All READs ride one doorbell batch.
+     */
+    sim::Task
+    pull(SmartCtx &ctx, const std::vector<std::uint64_t> &rows,
+         std::vector<std::int64_t> &out)
+    {
+        out.resize(rows.size() * dim_);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            ctx.read(ctx.runtime().ptr(shardOf(rows[i]),
+                                       rowOffset(rows[i])),
+                     out.data() + i * dim_,
+                     static_cast<std::uint32_t>(rowBytes_));
+        }
+        co_await ctx.postSend();
+        co_await ctx.sync();
+    }
+
+    /**
+     * Accumulate @p grads (row-major) into @p rows element-wise with
+     * FAAs: contention-free merging of concurrent workers' updates.
+     */
+    sim::Task
+    push(SmartCtx &ctx, const std::vector<std::uint64_t> &rows,
+         const std::vector<std::int64_t> &grads)
+    {
+        assert(grads.size() == rows.size() * dim_);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            for (std::uint32_t d = 0; d < dim_; ++d) {
+                ctx.faa(ctx.runtime().ptr(shardOf(rows[i]),
+                                          rowOffset(rows[i]) + d * 8),
+                        static_cast<std::uint64_t>(grads[i * dim_ + d]),
+                        nullptr);
+            }
+        }
+        co_await ctx.postSend();
+        co_await ctx.sync();
+    }
+
+    /** Host-side element access for verification. */
+    std::int64_t
+    hostValue(std::uint64_t row, std::uint32_t d) const
+    {
+        std::int64_t v = 0;
+        std::memcpy(&v,
+                    blades_[shardOf(row)]->bytesAt(rowOffset(row) + d * 8),
+                    8);
+        return v;
+    }
+
+  private:
+    std::vector<memblade::MemoryBlade *> blades_;
+    std::uint64_t numRows_;
+    std::uint32_t dim_;
+    std::uint64_t rowBytes_;
+    std::vector<std::uint64_t> shardBase_;
+};
+
+} // namespace smart::paramserver
+
+#endif // SMART_APPS_PARAMSERVER_PARAM_SERVER_HPP

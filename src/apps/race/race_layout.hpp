@@ -1,0 +1,176 @@
+/**
+ * @file
+ * On-blade memory layout of the RACE-style lock-free extendible hash
+ * table: slot/bucket/segment/directory encodings and the hash functions.
+ *
+ * Layout summary (all little-endian on the blade):
+ *  - Directory (blade 0): global-depth word + 2^maxDepth entries of 8 B,
+ *    each encoding (local_depth, blade, segment offset).
+ *  - Segment: a 64 B header (split lock + depth/suffix) followed by
+ *    `groupsPerSegment` bucket groups.
+ *  - Bucket group: two 64 B buckets (main + overflow) fetched by ONE
+ *    128 B READ (RACE's "combined buckets" keep lookups at 2 bucket READs
+ *    + 1 KV READ = 3 READs total).
+ *  - Bucket: 8 B header (local_depth | splitting | suffix) + 7 slots.
+ *  - Slot (8 B, CAS-able): fingerprint | kv-length | blade | kv offset.
+ *  - KV block: 8 B key + 8 B value, allocated from client-side arenas.
+ */
+
+#ifndef SMART_APPS_RACE_RACE_LAYOUT_HPP
+#define SMART_APPS_RACE_RACE_LAYOUT_HPP
+
+#include <cstdint>
+
+namespace smart::race {
+
+/** splitmix64: cheap, well-mixed 64-bit hash. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Primary hash: selects directory entry and the first bucket group. */
+inline std::uint64_t
+hash1(std::uint64_t key)
+{
+    return mix64(key);
+}
+
+/** Secondary hash: selects the second candidate bucket group. */
+inline std::uint64_t
+hash2(std::uint64_t key)
+{
+    return mix64(key ^ 0xc3a5c85c97cb3127ull);
+}
+
+/** 8-bit nonzero fingerprint stored in slots. */
+inline std::uint8_t
+fingerprint(std::uint64_t key)
+{
+    std::uint8_t fp = static_cast<std::uint8_t>(mix64(key * 31 + 7) >> 56);
+    return fp == 0 ? 1 : fp;
+}
+
+// ----------------------------------------------------------------- slots
+
+/**
+ * Slot encoding: [63:56] fingerprint, [55:48] kv length in 8 B units,
+ * [47:44] blade id, [43:0] kv byte offset. Zero means empty.
+ */
+struct Slot
+{
+    std::uint64_t raw = 0;
+
+    static Slot
+    make(std::uint8_t fp, std::uint32_t len8, std::uint32_t blade,
+         std::uint64_t offset)
+    {
+        Slot s;
+        s.raw = (static_cast<std::uint64_t>(fp) << 56) |
+                (static_cast<std::uint64_t>(len8 & 0xff) << 48) |
+                (static_cast<std::uint64_t>(blade & 0xf) << 44) |
+                (offset & 0xfffffffffffull);
+        return s;
+    }
+
+    bool empty() const { return raw == 0; }
+    std::uint8_t fp() const { return static_cast<std::uint8_t>(raw >> 56); }
+    std::uint32_t len8() const { return (raw >> 48) & 0xff; }
+    std::uint32_t blade() const { return (raw >> 44) & 0xf; }
+    std::uint64_t offset() const { return raw & 0xfffffffffffull; }
+};
+
+// --------------------------------------------------------------- buckets
+
+/** Slots per 64 B bucket (64 B = 8 B header + 7 slots). */
+constexpr std::uint32_t kSlotsPerBucket = 7;
+/** Buckets per combined group (main + overflow). */
+constexpr std::uint32_t kBucketsPerGroup = 2;
+/** Usable slots per group. */
+constexpr std::uint32_t kSlotsPerGroup = kSlotsPerBucket * kBucketsPerGroup;
+/** Bytes of one bucket / one group. */
+constexpr std::uint32_t kBucketBytes = 8 + 8 * kSlotsPerBucket;
+constexpr std::uint32_t kGroupBytes = kBucketBytes * kBucketsPerGroup;
+
+/**
+ * Bucket header: [63:56] local depth, [55] splitting flag,
+ * [47:0] directory suffix this segment covers.
+ */
+struct BucketHeader
+{
+    std::uint64_t raw = 0;
+
+    static BucketHeader
+    make(std::uint32_t local_depth, bool splitting, std::uint64_t suffix)
+    {
+        BucketHeader h;
+        h.raw = (static_cast<std::uint64_t>(local_depth & 0xff) << 56) |
+                (static_cast<std::uint64_t>(splitting ? 1 : 0) << 55) |
+                (suffix & 0xffffffffffffull);
+        return h;
+    }
+
+    std::uint32_t localDepth() const { return (raw >> 56) & 0xff; }
+    bool splitting() const { return (raw >> 55) & 1; }
+    std::uint64_t suffix() const { return raw & 0xffffffffffffull; }
+};
+
+// ------------------------------------------------------------- directory
+
+/**
+ * Directory entry: [63:56] local depth, [47:44] blade id,
+ * [43:0] segment byte offset.
+ */
+struct DirEntry
+{
+    std::uint64_t raw = 0;
+
+    static DirEntry
+    make(std::uint32_t local_depth, std::uint32_t blade,
+         std::uint64_t offset)
+    {
+        DirEntry e;
+        e.raw = (static_cast<std::uint64_t>(local_depth & 0xff) << 56) |
+                (static_cast<std::uint64_t>(blade & 0xf) << 44) |
+                (offset & 0xfffffffffffull);
+        return e;
+    }
+
+    bool valid() const { return raw != 0; }
+    std::uint32_t localDepth() const { return (raw >> 56) & 0xff; }
+    std::uint32_t blade() const { return (raw >> 44) & 0xf; }
+    std::uint64_t offset() const { return raw & 0xfffffffffffull; }
+};
+
+// -------------------------------------------------------------- segments
+
+/** Segment header (one 64 B line): split lock + metadata. */
+constexpr std::uint32_t kSegmentHeaderBytes = 64;
+/** Offset of the split-lock word within the segment header. */
+constexpr std::uint32_t kSegmentLockOffset = 0;
+
+/** Byte size of one segment with @p groups bucket groups. */
+inline std::uint64_t
+segmentBytes(std::uint32_t groups)
+{
+    return kSegmentHeaderBytes +
+           static_cast<std::uint64_t>(groups) * kGroupBytes;
+}
+
+/** Byte offset of group @p g within a segment. */
+inline std::uint64_t
+groupOffset(std::uint32_t g)
+{
+    return kSegmentHeaderBytes + static_cast<std::uint64_t>(g) * kGroupBytes;
+}
+
+/** KV block: 8 B key + 8 B value. */
+constexpr std::uint32_t kKvBytes = 16;
+
+} // namespace smart::race
+
+#endif // SMART_APPS_RACE_RACE_LAYOUT_HPP

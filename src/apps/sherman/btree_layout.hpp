@@ -1,0 +1,114 @@
+/**
+ * @file
+ * On-blade layout of the Sherman-style B+Tree (paper §5.2, §6.2.3).
+ *
+ * Nodes are 1 KB. Line 0 is the header (lock word, fences, level, next
+ * pointer); the remaining 15 lines hold entries guarded by FaRM-style
+ * per-cacheline versions (the paper replaces Sherman's two-level
+ * versions with per-cacheline versions, §5.2). Each 64 B line carries a
+ * version word plus three 16 B (key, value/child) entries.
+ *
+ * Leaves keep entries unsorted (append + tombstone), so updates and
+ * inserts touch exactly one cacheline and need no version bump — the
+ * "safe single-cacheline update" observation of §5.2. Scans sort
+ * client-side. (Divergence from Sherman's sorted leaves; documented in
+ * DESIGN.md.)
+ */
+
+#ifndef SMART_APPS_SHERMAN_BTREE_LAYOUT_HPP
+#define SMART_APPS_SHERMAN_BTREE_LAYOUT_HPP
+
+#include <cstdint>
+
+namespace smart::sherman {
+
+constexpr std::uint32_t kNodeBytes = 1024;
+constexpr std::uint32_t kLineBytes = 64;
+constexpr std::uint32_t kLinesPerNode = kNodeBytes / kLineBytes; // 16
+constexpr std::uint32_t kEntryLines = kLinesPerNode - 1;         // 15
+constexpr std::uint32_t kEntriesPerLine = 3;
+constexpr std::uint32_t kNodeCapacity = kEntryLines * kEntriesPerLine; // 45
+
+/** Sentinel key marking a deleted / empty entry slot. */
+constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+/** Upper fence value meaning "+infinity". */
+constexpr std::uint64_t kInfinity = ~std::uint64_t{0};
+
+/** Node header (line 0). */
+struct NodeHeader
+{
+    std::uint64_t lock = 0;      ///< CAS-able lock word
+    std::uint64_t lowFence = 0;  ///< inclusive lower bound
+    std::uint64_t highFence = 0; ///< exclusive upper bound (kInfinity ok)
+    std::uint64_t next = 0;      ///< packed ptr of right sibling (0 = none)
+    std::uint32_t level = 0;     ///< 0 = leaf
+    std::uint32_t count = 0;     ///< live entries (maintained by writers)
+    std::uint64_t version = 0;   ///< structural version (bumped on split)
+    std::uint8_t pad[kLineBytes - 48] = {};
+};
+static_assert(sizeof(NodeHeader) == kLineBytes);
+
+/** One 16 B entry: key + value (leaf) or key + child pointer (inner). */
+struct Entry
+{
+    std::uint64_t key = kEmptyKey;
+    std::uint64_t value = 0;
+};
+
+/** One 64 B entry line with its FaRM-style version word. */
+struct EntryLine
+{
+    std::uint64_t version = 0;
+    Entry entries[kEntriesPerLine];
+    std::uint8_t pad[kLineBytes - 8 - sizeof(Entry) * kEntriesPerLine] = {};
+};
+static_assert(sizeof(EntryLine) == kLineBytes);
+
+/** Full node image as moved over RDMA. */
+struct NodeImage
+{
+    NodeHeader header;
+    EntryLine lines[kEntryLines];
+};
+static_assert(sizeof(NodeImage) == kNodeBytes);
+
+/** Child/node pointer packing: blade in the top bits. */
+inline std::uint64_t
+packPtr(std::uint32_t blade, std::uint64_t offset)
+{
+    return (static_cast<std::uint64_t>(blade) << 48) | offset;
+}
+
+inline std::uint32_t
+ptrBlade(std::uint64_t p)
+{
+    return static_cast<std::uint32_t>(p >> 48);
+}
+
+inline std::uint64_t
+ptrOffset(std::uint64_t p)
+{
+    return p & 0xffffffffffffull;
+}
+
+/** Byte offset of entry line @p l within a node. */
+inline std::uint64_t
+lineOffset(std::uint32_t l)
+{
+    return kLineBytes * (1ull + l);
+}
+
+/** @return true if the image's line versions are mutually consistent. */
+inline bool
+versionsConsistent(const NodeImage &img)
+{
+    for (std::uint32_t l = 1; l < kEntryLines; ++l) {
+        if (img.lines[l].version != img.lines[0].version)
+            return false;
+    }
+    return true;
+}
+
+} // namespace smart::sherman
+
+#endif // SMART_APPS_SHERMAN_BTREE_LAYOUT_HPP

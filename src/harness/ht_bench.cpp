@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Hash-table benchmark harness implementation.
+ */
+
+#include "harness/ht_bench.hpp"
+
+#include <memory>
+
+#include "smart/smart_ctx.hpp"
+
+namespace smart::harness {
+
+using sim::Task;
+using sim::Time;
+
+race::RaceConfig
+sizedRaceConfig(std::uint64_t num_keys)
+{
+    race::RaceConfig rcfg;
+    rcfg.groupsPerSegment = 64;
+    double slots_needed = static_cast<double>(num_keys) / 0.55;
+    std::uint64_t slots_per_segment =
+        rcfg.groupsPerSegment * race::kSlotsPerGroup;
+    std::uint32_t depth = 1;
+    while ((1ull << depth) * slots_per_segment < slots_needed)
+        ++depth;
+    rcfg.initialDepth = depth;
+    rcfg.maxDepth = depth + 4;
+    rcfg.arenaBytesPerThread = 2ull << 20;
+    rcfg.segmentHeapBytes =
+        (1ull << depth) * race::segmentBytes(rcfg.groupsPerSegment) + (4ull << 20);
+    return rcfg;
+}
+
+namespace {
+
+Task
+htWorker(SmartCtx &ctx, race::RaceClient &client, HtBenchParams params,
+         std::uint64_t seed, double zetan)
+{
+    SmartRuntime &rt = ctx.runtime();
+    workload::YcsbGenerator gen(params.numKeys, params.zipfTheta, params.mix,
+                                seed, zetan);
+    std::uint64_t value_seq = seed;
+    for (;;) {
+        workload::YcsbRequest req = gen.next();
+        Time start = ctx.sim().now();
+        race::OpResult res;
+        switch (req.op) {
+          case workload::YcsbOp::Lookup:
+            co_await client.lookup(ctx, req.key, res);
+            break;
+          case workload::YcsbOp::Update:
+          case workload::YcsbOp::Insert:
+            co_await client.update(ctx, req.key, ++value_seq, res);
+            break;
+        }
+        rt.recordOp(ctx.sim().now() - start, res.retries);
+        if (params.interOpDelayNs)
+            co_await ctx.sim().delay(params.interOpDelayNs);
+    }
+}
+
+} // namespace
+
+HtBenchResult
+runHtBench(const TestbedConfig &cfg, const HtBenchParams &params)
+{
+    TestbedConfig tb_cfg = cfg;
+    tb_cfg.smart.corosPerThread = params.corosPerThread;
+    Testbed tb(tb_cfg);
+
+    std::vector<memblade::MemoryBlade *> blades;
+    for (std::uint32_t i = 0; i < tb.numMemBlades(); ++i)
+        blades.push_back(&tb.memBlade(i));
+    race::RaceTable table(blades, sizedRaceConfig(params.numKeys));
+    for (std::uint64_t k = 0; k < params.numKeys; ++k)
+        table.loadInsert(k, k);
+
+    double zetan =
+        sim::ZipfianGenerator::zeta(params.numKeys, params.zipfTheta);
+
+    std::vector<std::unique_ptr<race::RaceClient>> clients;
+    for (std::uint32_t c = 0; c < tb.numComputeBlades(); ++c) {
+        clients.push_back(
+            std::make_unique<race::RaceClient>(table, tb.compute(c)));
+        SmartRuntime &rt = tb.compute(c);
+        for (std::uint32_t t = 0; t < rt.numThreads(); ++t) {
+            for (std::uint32_t k = 0; k < params.corosPerThread; ++k) {
+                std::uint64_t seed =
+                    0xf00d + c * 1000003ull + t * 971ull + k * 13ull;
+                race::RaceClient *cl = clients.back().get();
+                rt.spawnWorker(t, [&, cl, seed](SmartCtx &ctx) {
+                    return htWorker(ctx, *cl, params, seed, zetan);
+                });
+            }
+        }
+    }
+
+    tb.sim().runUntil(params.warmupNs);
+    std::uint64_t ops0 = 0;
+    std::uint64_t retries0 = 0;
+    std::uint64_t wrs0 = 0;
+    std::vector<std::uint64_t> hist0(64, 0);
+    for (std::uint32_t c = 0; c < tb.numComputeBlades(); ++c) {
+        SmartRuntime &rt = tb.compute(c);
+        ops0 += rt.appOps.value();
+        retries0 += rt.totalRetries.value();
+        wrs0 += rt.rnic().perf().wrsCompleted.value();
+        for (int i = 0; i < 64; ++i)
+            hist0[i] += rt.retryHist[i];
+        rt.opLatency.reset();
+    }
+
+    tb.sim().runUntil(params.warmupNs + params.measureNs);
+
+    HtBenchResult res;
+    std::uint64_t ops = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t wrs = 0;
+    sim::LatencyHistogram lat;
+    for (std::uint32_t c = 0; c < tb.numComputeBlades(); ++c) {
+        SmartRuntime &rt = tb.compute(c);
+        ops += rt.appOps.value();
+        retries += rt.totalRetries.value();
+        wrs += rt.rnic().perf().wrsCompleted.value();
+        for (int i = 0; i < 64; ++i)
+            res.retryHist[i] += rt.retryHist[i] - hist0[i];
+        lat.merge(rt.opLatency);
+    }
+    ops -= ops0;
+    retries -= retries0;
+    wrs -= wrs0;
+
+    double us = static_cast<double>(params.measureNs) / 1000.0;
+    res.mops = static_cast<double>(ops) / us;
+    res.rdmaMops = static_cast<double>(wrs) / us;
+    res.medianNs = static_cast<double>(lat.percentile(50));
+    res.p99Ns = static_cast<double>(lat.percentile(99));
+    res.avgRetries =
+        ops ? static_cast<double>(retries) / static_cast<double>(ops) : 0.0;
+    return res;
+}
+
+} // namespace smart::harness

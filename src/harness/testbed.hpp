@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Testbed: builds a simulated cluster (memory blades + SMART compute
+ * blades) mirroring the paper's evaluation setup — dual-socket 96-core
+ * compute blades, 200 Gbps ConnectX-6-class fabric, two memory blades
+ * unless stated otherwise.
+ */
+
+#ifndef SMART_HARNESS_TESTBED_HPP
+#define SMART_HARNESS_TESTBED_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memblade/memory_blade.hpp"
+#include "rnic/rnic_config.hpp"
+#include "sim/simulator.hpp"
+#include "smart/smart_config.hpp"
+#include "smart/smart_runtime.hpp"
+
+namespace smart::harness {
+
+/**
+ * Scale SMART's adaptation timescales down for simulation benches: the
+ * paper's epoch is Δ = 8 ms probes + 480 ms stable phase, sized for
+ * multi-second hardware runs. Simulated measurement windows are a few
+ * milliseconds, so benches shrink the epoch by 8x while keeping the
+ * paper's structure (5 candidate probes, stable phase = 20 probes).
+ * EXPERIMENTS.md documents this scaling.
+ */
+inline void
+applyBenchTimescale(SmartConfig &c)
+{
+    c.probeIntervalNs = sim::msec(1);
+    c.stableIntervalNs = sim::msec(20);
+}
+
+/** Cluster shape + per-blade configuration. */
+struct TestbedConfig
+{
+    rnic::RnicConfig hw;
+    SmartConfig smart;
+    std::uint32_t computeBlades = 1;
+    std::uint32_t threadsPerBlade = 96;
+    std::uint32_t memoryBlades = 2;
+    std::uint64_t bladeBytes = 1ull << 30; // 1 GB registered per blade
+};
+
+/** A fully wired cluster: every compute blade connected to every blade. */
+class Testbed
+{
+  public:
+    explicit Testbed(const TestbedConfig &cfg) : cfg_(cfg)
+    {
+        for (std::uint32_t m = 0; m < cfg.memoryBlades; ++m) {
+            memBlades_.push_back(std::make_unique<memblade::MemoryBlade>(
+                sim_, cfg.hw, "mb" + std::to_string(m), cfg.bladeBytes));
+        }
+        for (std::uint32_t c = 0; c < cfg.computeBlades; ++c) {
+            computeBlades_.push_back(std::make_unique<SmartRuntime>(
+                sim_, cfg.hw, cfg.smart, cfg.threadsPerBlade,
+                "cb" + std::to_string(c)));
+            for (auto &mb : memBlades_)
+                computeBlades_.back()->connect(*mb);
+        }
+    }
+
+    sim::Simulator &sim() { return sim_; }
+    const TestbedConfig &config() const { return cfg_; }
+
+    std::uint32_t numMemBlades() const { return memBlades_.size(); }
+    memblade::MemoryBlade &memBlade(std::uint32_t i) { return *memBlades_[i]; }
+
+    std::uint32_t numComputeBlades() const { return computeBlades_.size(); }
+    SmartRuntime &compute(std::uint32_t i) { return *computeBlades_[i]; }
+
+    /** Sum of initiator-completed WRs across compute blades. */
+    std::uint64_t
+    totalWrsCompleted() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &cb : computeBlades_)
+            sum += const_cast<SmartRuntime &>(*cb).rnic().perf()
+                       .wrsCompleted.value();
+        return sum;
+    }
+
+    /** Sum of application ops recorded across compute blades. */
+    std::uint64_t
+    totalAppOps() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &cb : computeBlades_)
+            sum += cb->appOps.value();
+        return sum;
+    }
+
+  private:
+    TestbedConfig cfg_;
+    sim::Simulator sim_;
+    std::vector<std::unique_ptr<memblade::MemoryBlade>> memBlades_;
+    std::vector<std::unique_ptr<SmartRuntime>> computeBlades_;
+};
+
+} // namespace smart::harness
+
+#endif // SMART_HARNESS_TESTBED_HPP

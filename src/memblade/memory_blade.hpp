@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Memory blade: a host with a large registered memory region and a
+ * near-zero-compute CPU (1-2 cores), accessed only through one-sided
+ * verbs. Provides setup-time allocation for application data structures
+ * and runtime arenas that compute-side clients carve up locally.
+ */
+
+#ifndef SMART_MEMBLADE_MEMORY_BLADE_HPP
+#define SMART_MEMBLADE_MEMORY_BLADE_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rnic/rnic.hpp"
+#include "sim/simulator.hpp"
+
+namespace smart::memblade {
+
+/**
+ * One memory blade: owns real host bytes, an RNIC, and the registration.
+ * Memory blades never post work requests; they only respond (paper §4.1:
+ * no per-thread resources are needed on the blade side).
+ */
+class MemoryBlade
+{
+  public:
+    MemoryBlade(sim::Simulator &sim, const rnic::RnicConfig &cfg,
+                std::string name, std::uint64_t bytes)
+        : rnic_(sim, cfg, name), size_(bytes),
+          // Deliberately uninitialized: lets the OS fault pages lazily, so
+          // building a blade with a huge region stays cheap. Application
+          // loaders initialize every structure they use.
+          memory_(new std::uint8_t[bytes])
+    {
+        mr_ = &rnic_.registerMemory(memory_.get(), bytes);
+    }
+
+    /** @return this blade's RNIC (the responder for client QPs). */
+    rnic::Rnic &rnic() { return rnic_; }
+
+    /** @return the rkey of the blade-wide memory region. */
+    std::uint32_t rkey() const { return mr_->rkey; }
+
+    /** @return size of the registered region in bytes. */
+    std::uint64_t size() const { return size_; }
+
+    /**
+     * Direct host pointer to blade memory at @p offset. Only for
+     * setup-time initialization (loading datasets) and test assertions —
+     * runtime accesses must go through RDMA.
+     */
+    std::uint8_t *
+    bytesAt(std::uint64_t offset)
+    {
+        assert(offset < size_);
+        return memory_.get() + offset;
+    }
+
+    /**
+     * Setup-time bump allocation from the blade heap.
+     * @return byte offset of the allocated range
+     */
+    std::uint64_t
+    alloc(std::uint64_t bytes, std::uint64_t align = 64)
+    {
+        std::uint64_t off = (brk_ + align - 1) / align * align;
+        assert(off + bytes <= size_ && "memory blade exhausted");
+        brk_ = off + bytes;
+        return off;
+    }
+
+    /** @return bytes still unallocated. */
+    std::uint64_t freeBytes() const { return size_ - brk_; }
+
+  private:
+    rnic::Rnic rnic_;
+    std::uint64_t size_;
+    std::unique_ptr<std::uint8_t[]> memory_;
+    const rnic::MrRecord *mr_;
+    std::uint64_t brk_ = 64; // offset 0 reserved as a null-like sentinel
+};
+
+/**
+ * A client-side arena over a pre-carved range of blade memory: clients
+ * allocate KV blocks / log entries locally without network round-trips,
+ * the standard disaggregated-memory design (RACE, FORD do the same).
+ */
+class RemoteArena
+{
+  public:
+    RemoteArena() = default;
+
+    RemoteArena(std::uint64_t base, std::uint64_t bytes)
+        : base_(base), end_(base + bytes), brk_(base)
+    {
+    }
+
+    /** Allocate @p bytes (aligned) from the arena; freelist-aware. */
+    std::uint64_t
+    alloc(std::uint64_t bytes, std::uint64_t align = 8)
+    {
+        // Size-class freelist reuse first.
+        std::uint64_t cls = sizeClass(bytes);
+        if (cls < freeLists_.size() && !freeLists_[cls].empty()) {
+            std::uint64_t off = freeLists_[cls].back();
+            freeLists_[cls].pop_back();
+            return off;
+        }
+        std::uint64_t off = (brk_ + align - 1) / align * align;
+        assert(off + bytes <= end_ && "remote arena exhausted");
+        brk_ = off + bytes;
+        return off;
+    }
+
+    /** Return a block to its size-class freelist. */
+    void
+    free(std::uint64_t offset, std::uint64_t bytes)
+    {
+        std::uint64_t cls = sizeClass(bytes);
+        if (cls >= freeLists_.size())
+            freeLists_.resize(cls + 1);
+        freeLists_[cls].push_back(offset);
+    }
+
+    /** @return bytes never yet handed out (freelists not counted). */
+    std::uint64_t remaining() const { return end_ - brk_; }
+
+  private:
+    static std::uint64_t
+    sizeClass(std::uint64_t bytes)
+    {
+        std::uint64_t cls = 0;
+        std::uint64_t sz = 8;
+        while (sz < bytes) {
+            sz <<= 1;
+            ++cls;
+        }
+        return cls;
+    }
+
+    std::uint64_t base_ = 0;
+    std::uint64_t end_ = 0;
+    std::uint64_t brk_ = 0;
+    std::vector<std::vector<std::uint64_t>> freeLists_;
+};
+
+} // namespace smart::memblade
+
+#endif // SMART_MEMBLADE_MEMORY_BLADE_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Neo-Host-style performance counters exposed by the RNIC model.
+ */
+
+#ifndef SMART_RNIC_PERF_COUNTERS_HPP
+#define SMART_RNIC_PERF_COUNTERS_HPP
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+
+namespace smart::rnic {
+
+/**
+ * Counters the paper reads through Mellanox Neo-Host / PCIe counters:
+ * completed work requests, RNIC<->host-DRAM traffic, and doorbell waits.
+ */
+struct PerfCounters
+{
+    /** Work requests completed by this RNIC as initiator. */
+    smart::sim::Counter wrsCompleted;
+    /** Inbound requests served by this RNIC as responder. */
+    smart::sim::Counter wrsServed;
+    /** Bytes moved between this RNIC and host DRAM (PCIe DMA traffic). */
+    smart::sim::Counter dramBytes;
+    /** Cumulative virtual ns spent waiting for doorbell locks. */
+    smart::sim::Counter doorbellWaitNs;
+    /** Doorbell rings performed. */
+    smart::sim::Counter doorbellRings;
+    /** WQE-cache refetches (misses) as initiator. */
+    smart::sim::Counter wqeRefetches;
+    /** MTT/MPT translation refetches. */
+    smart::sim::Counter mttRefetches;
+
+    /** Reset the deltas used by windowed measurements. */
+    void
+    resetWindow()
+    {
+        wrsCompleted.delta();
+        wrsServed.delta();
+        dramBytes.delta();
+        doorbellWaitNs.delta();
+        doorbellRings.delta();
+        wqeRefetches.delta();
+        mttRefetches.delta();
+    }
+};
+
+} // namespace smart::rnic
+
+#endif // SMART_RNIC_PERF_COUNTERS_HPP

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Implementation of the RNIC hardware model.
+ */
+
+#include "rnic/rnic.hpp"
+
+#include <cassert>
+
+namespace smart::rnic {
+
+using sim::Task;
+using sim::Time;
+
+Rnic::Rnic(sim::Simulator &sim, const RnicConfig &cfg, std::string name)
+    : sim_(sim), cfg_(cfg), name_(std::move(name)),
+      pipeline_(sim, 1, name_ + ".pipe"),
+      atomicUnits_(sim, cfg.atomicUnits, name_ + ".atomic"),
+      dmaEngines_(sim, cfg.dmaEngines, name_ + ".dma"),
+      pcie_(sim, 1, name_ + ".pcie"),
+      egress_(sim, 1, name_ + ".egress"),
+      mttCache_(cfg.mttCacheCapacity),
+      qpcCache_(cfg.qpcCacheCapacity)
+{
+}
+
+const MrRecord &
+Rnic::registerMemory(std::uint8_t *base, std::uint64_t length)
+{
+    MrRecord rec;
+    rec.id = nextMrId_++;
+    rec.rkey = rec.id * 0x1000u + 0xabcu; // arbitrary but deterministic
+    rec.base = base;
+    rec.length = length;
+    auto [it, inserted] = mrs_.emplace(rec.rkey, rec);
+    assert(inserted);
+    return it->second;
+}
+
+const MrRecord *
+Rnic::findMr(std::uint32_t rkey) const
+{
+    auto it = mrs_.find(rkey);
+    return it == mrs_.end() ? nullptr : &it->second;
+}
+
+double
+Rnic::dramBytesPerWr() const
+{
+    std::uint64_t wrs = perf_.wrsCompleted.value();
+    return wrs ? static_cast<double>(perf_.dramBytes.value()) / wrs : 0.0;
+}
+
+void
+Rnic::postBatch(Rnic *target, std::vector<WorkReq> batch)
+{
+    for (WorkReq &wr : batch)
+        wr.uid = nextUid_++;
+    owrNow_ += batch.size();
+    sim_.spawnDetached(processBatch(target, std::move(batch)));
+}
+
+Task
+Rnic::processBatch(Rnic *target, std::vector<WorkReq> batch)
+{
+    // The doorbell ring triggers a DMA fetch of the new WQEs, in
+    // chunk-sized PCIe reads (the hardware prefetches whole chunks).
+    std::uint32_t wqe_bytes =
+        static_cast<std::uint32_t>(batch.size()) * cfg_.wqeBytes;
+    std::uint32_t lines = (wqe_bytes + 63) / 64;
+    std::uint32_t fetch_bytes = lines * 64;
+    perf_.dramBytes.add(fetch_bytes);
+    co_await pcieDma(fetch_bytes);
+
+    for (WorkReq &wr : batch)
+        sim_.spawnDetached(processOne(target, std::move(wr)));
+}
+
+Task
+Rnic::pcieDma(std::uint32_t bytes)
+{
+    co_await pcie_.acquire();
+    Time occupancy =
+        static_cast<Time>(static_cast<double>(bytes) / cfg_.pcieBytesPerNs);
+    co_await sim_.delay(occupancy);
+    pcie_.release();
+    co_await sim_.delay(cfg_.pcieLatencyNs);
+}
+
+Task
+Rnic::sendTo(Rnic &dst, std::uint32_t bytes)
+{
+    co_await egress_.acquire();
+    Time occupancy =
+        static_cast<Time>(static_cast<double>(bytes) / cfg_.linkBytesPerNs);
+    co_await sim_.delay(occupancy);
+    egress_.release();
+    co_await sim_.delay(cfg_.propagationNs);
+    (void)dst;
+}
+
+Task
+Rnic::translate(std::uint64_t key)
+{
+    if (mttCache_.access(key))
+        co_return;
+    // Translation refetch: an extra pipeline pass plus a host-DRAM read.
+    perf_.mttRefetches.add();
+    perf_.dramBytes.add(cfg_.mttMissBytes);
+    co_await pipeline_.acquire();
+    co_await sim_.delay(cfg_.pipeResponderNs);
+    pipeline_.release();
+    co_await sim_.delay(cfg_.mttMissLatencyNs);
+}
+
+Task
+Rnic::processOne(Rnic *target, WorkReq wr)
+{
+    // ---- Initiator issue ----
+    co_await pipeline_.acquire();
+    co_await sim_.delay(cfg_.pipeIssueNs);
+    pipeline_.release();
+
+    // Device-context ICM lookup (QPC root / MPT segment). With one
+    // shared context this always hits; with per-thread contexts the
+    // aggregate footprint thrashes the on-chip cache (s2.2).
+    std::uint64_t icm_key =
+        wr.icmBase + wr.uid % cfg_.icmEntriesPerContext;
+    if (!mttCache_.access(icm_key)) {
+        perf_.mttRefetches.add();
+        perf_.dramBytes.add(cfg_.mttMissBytes);
+        co_await pipeline_.acquire();
+        co_await sim_.delay(cfg_.icmMissExtraPipeNs);
+        pipeline_.release();
+        co_await sim_.delay(cfg_.mttMissLatencyNs);
+    }
+
+    if (wr.localBuf != nullptr)
+        co_await translate(wr.localTransKey);
+
+    // ---- Request over the wire ----
+    std::uint32_t req_bytes = cfg_.headerBytes;
+    if (wr.op == Op::Write)
+        req_bytes += wr.length;
+    else if (wr.op == Op::Cas)
+        req_bytes += 16;
+    else if (wr.op == Op::Faa)
+        req_bytes += 8;
+    co_await sendTo(*target, req_bytes);
+
+    // ---- Responder ----
+    target->perf_.wrsServed.add();
+    co_await target->pipeline_.acquire();
+    co_await sim_.delay(cfg_.pipeResponderNs);
+    target->pipeline_.release();
+
+    const MrRecord *mr = target->findMr(wr.rkey);
+    assert(mr != nullptr && "bad rkey");
+    assert(wr.remoteOffset + wr.length <= mr->length &&
+           "remote access out of bounds");
+    std::uint8_t *remote = mr->base + wr.remoteOffset;
+    co_await target->translate(transKey(mr->id, wr.remoteOffset));
+
+    std::uint64_t old_value = 0;
+    std::vector<std::uint8_t> snapshot;
+    std::uint32_t resp_bytes = cfg_.headerBytes;
+
+    switch (wr.op) {
+      case Op::Read: {
+        std::uint32_t bytes = wr.length + cfg_.payloadPadBytes;
+        target->perf_.dramBytes.add(bytes);
+        co_await target->pcieDma(bytes);
+        // Snapshot target memory at DMA-read time: later concurrent
+        // writes must not be visible to this READ.
+        snapshot.assign(remote, remote + wr.length);
+        resp_bytes += wr.length;
+        break;
+      }
+      case Op::Write: {
+        std::uint32_t bytes = wr.length + cfg_.payloadPadBytes;
+        target->perf_.dramBytes.add(bytes);
+        co_await target->pcieDma(bytes);
+        assert(wr.localBuf != nullptr);
+        std::memcpy(remote, wr.localBuf, wr.length);
+        break;
+      }
+      case Op::Cas: {
+        assert(wr.length == 8);
+        co_await target->atomicUnits_.acquire();
+        co_await sim_.delay(cfg_.atomicServiceNs);
+        // Atomic read-compare-write executes in one event: no interleaving.
+        std::memcpy(&old_value, remote, 8);
+        if (old_value == wr.compare)
+            std::memcpy(remote, &wr.swap, 8);
+        target->atomicUnits_.release();
+        target->perf_.dramBytes.add(16);
+        resp_bytes += 8;
+        break;
+      }
+      case Op::Faa: {
+        assert(wr.length == 8);
+        co_await target->atomicUnits_.acquire();
+        co_await sim_.delay(cfg_.atomicServiceNs);
+        std::memcpy(&old_value, remote, 8);
+        std::uint64_t updated = old_value + wr.compare;
+        std::memcpy(remote, &updated, 8);
+        target->atomicUnits_.release();
+        target->perf_.dramBytes.add(16);
+        resp_bytes += 8;
+        break;
+      }
+    }
+
+    // ---- Response over the wire ----
+    co_await target->sendTo(*this, resp_bytes);
+
+    // ---- Initiator completion ----
+    bool wqe_hit = rng_.uniformDouble() < wqeHitProb();
+    if (wqe_hit) {
+        wqeHits_.add();
+    } else {
+        // WQE state fell out of the on-chip cache: refetch via a DMA
+        // engine. This is the cache-thrashing cost of too many OWRs.
+        wqeMisses_.add();
+        perf_.wqeRefetches.add();
+        perf_.dramBytes.add(cfg_.wqeMissBytes);
+        co_await dmaEngines_.acquire();
+        co_await sim_.delay(cfg_.dmaMissServiceNs);
+        dmaEngines_.release();
+    }
+    co_await pipeline_.acquire();
+    co_await sim_.delay(cfg_.pipeCompletionNs);
+    pipeline_.release();
+
+    // Land payload and the (compressed) CQE in host memory.
+    std::uint32_t land_bytes = cfg_.cqeBytes;
+    if (wr.op == Op::Read)
+        land_bytes += wr.length + cfg_.payloadPadBytes;
+    else if (wr.op == Op::Cas || wr.op == Op::Faa)
+        land_bytes += 8;
+    perf_.dramBytes.add(land_bytes);
+    co_await pcieDma(land_bytes);
+
+    if (wr.op == Op::Read && wr.localBuf != nullptr)
+        std::memcpy(wr.localBuf, snapshot.data(), wr.length);
+    if ((wr.op == Op::Cas || wr.op == Op::Faa) && wr.localBuf != nullptr)
+        std::memcpy(wr.localBuf, &old_value, 8);
+
+    perf_.wrsCompleted.add();
+    --owrNow_;
+    if (wr.sink != nullptr)
+        wr.sink->complete(wr, old_value);
+}
+
+} // namespace smart::rnic

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The RNIC hardware model: processing pipeline, on-chip caches, DMA
+ * engines, PCIe interface, link egress, memory registration (MTT/MPT),
+ * and one-sided operation execution against real host bytes.
+ *
+ * One Rnic instance models one ConnectX-6-class adapter plus the host
+ * resources it contends on (PCIe link). Doorbell registers (UARs) are
+ * *driver* objects allocated per device context and live in the verbs
+ * layer; the Rnic only sees batches of work requests arriving after a
+ * doorbell ring.
+ */
+
+#ifndef SMART_RNIC_RNIC_HPP
+#define SMART_RNIC_RNIC_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rnic/cache_model.hpp"
+#include "sim/random.hpp"
+#include "rnic/perf_counters.hpp"
+#include "rnic/rnic_config.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace smart::rnic {
+
+/** One-sided verb opcodes supported by the model. */
+enum class Op : std::uint8_t { Read, Write, Cas, Faa };
+
+class Rnic;
+struct WorkReq;
+
+/** Receives the completion of a work request (implemented by verbs::Cq). */
+class CompletionSink
+{
+  public:
+    virtual ~CompletionSink() = default;
+
+    /**
+     * Called exactly once per work request when its CQE lands.
+     * @param wr the completed request
+     * @param oldValue prior memory value for CAS/FAA (0 otherwise)
+     */
+    virtual void complete(const WorkReq &wr, std::uint64_t oldValue) = 0;
+};
+
+/** A registered memory region record (the MPT entry). */
+struct MrRecord
+{
+    std::uint32_t id = 0;
+    std::uint32_t rkey = 0;
+    std::uint8_t *base = nullptr;
+    std::uint64_t length = 0;
+};
+
+/** One work request as seen by the hardware. */
+struct WorkReq
+{
+    std::uint64_t uid = 0;   ///< globally unique (WQE cache key)
+    std::uint64_t wrId = 0;  ///< application wr_id (carried to the CQE)
+    Op op = Op::Read;
+    std::uint32_t length = 0;
+    std::uint32_t rkey = 0;        ///< remote MR
+    std::uint64_t remoteOffset = 0; ///< byte offset within the remote MR
+    std::uint8_t *localBuf = nullptr; ///< payload source/landing (may be null)
+    std::uint64_t localTransKey = 0;  ///< initiator-side MTT key
+    std::uint64_t compare = 0; ///< CAS compare value / FAA addend
+    std::uint64_t swap = 0;    ///< CAS swap value
+    /** ICM base of the issuing device context (context footprint model). */
+    std::uint64_t icmBase = 0;
+    CompletionSink *sink = nullptr;
+    bool signaled = true;
+};
+
+/**
+ * The RNIC model. All latencies/capacities come from RnicConfig; see
+ * DESIGN.md §5 for the calibration rationale.
+ */
+class Rnic
+{
+  public:
+    Rnic(sim::Simulator &sim, const RnicConfig &cfg, std::string name);
+
+    Rnic(const Rnic &) = delete;
+    Rnic &operator=(const Rnic &) = delete;
+
+    /** @return the owning simulator. */
+    sim::Simulator &sim() { return sim_; }
+
+    /** @return the hardware configuration. */
+    const RnicConfig &config() const { return cfg_; }
+
+    /** @return diagnostic name ("mb0", "cb1", ...). */
+    const std::string &name() const { return name_; }
+
+    /** @return performance counters (mutable: windowed benches reset). */
+    PerfCounters &perf() { return perf_; }
+
+    /** @return the MTT/MPT translation cache (for test introspection). */
+    LruCache &mttCache() { return mttCache_; }
+
+    /** @return posted-but-uncompleted work requests (the paper's OWRs). */
+    std::uint64_t owrNow() const { return owrNow_; }
+
+    /**
+     * @return probability that a completing WR still has its WQE state
+     * on chip. With random replacement and a cyclic reference stream the
+     * steady-state hit ratio is capacity / working-set.
+     */
+    double
+    wqeHitProb() const
+    {
+        if (owrNow_ <= cfg_.wqeCacheCapacity)
+            return 1.0;
+        return static_cast<double>(cfg_.wqeCacheCapacity) /
+               static_cast<double>(owrNow_);
+    }
+
+    /** @return WQE-cache hit ratio since the last reset. */
+    double
+    wqeHitRatio() const
+    {
+        std::uint64_t total = wqeHits_.value() + wqeMisses_.value();
+        return total ? static_cast<double>(wqeHits_.value()) / total : 1.0;
+    }
+
+    /** Reset WQE-cache hit statistics (windowed measurements). */
+    void
+    resetWqeStats()
+    {
+        wqeHits_.reset();
+        wqeMisses_.reset();
+    }
+
+    /**
+     * Register host memory with the RNIC (creates the MPT/MTT entries).
+     * @return the MR record; rkey can be shipped to remote initiators.
+     */
+    const MrRecord &registerMemory(std::uint8_t *base, std::uint64_t length);
+
+    /** Look up a registered MR by rkey (nullptr if unknown). */
+    const MrRecord *findMr(std::uint32_t rkey) const;
+
+    /**
+     * Reserve the ICM footprint for a new device context.
+     * @return the context's ICM base key
+     */
+    std::uint64_t
+    allocContextIcm()
+    {
+        std::uint64_t base =
+            kIcmTag + nextContext_ * cfg_.icmEntriesPerContext;
+        ++nextContext_;
+        return base;
+    }
+
+    /**
+     * Hand a rung batch of work requests to the hardware. Called by the
+     * verbs layer right after the doorbell MMIO; processing is
+     * asynchronous.
+     * @param target the responder RNIC (the memory blade's adapter)
+     */
+    void postBatch(Rnic *target, std::vector<WorkReq> batch);
+
+    /** MTT translation key for an (mr, byte offset) pair. */
+    static std::uint64_t
+    transKey(std::uint32_t mr_id, std::uint64_t offset)
+    {
+        return (static_cast<std::uint64_t>(mr_id) << 32) |
+               (offset >> 21); // 2 MB pages
+    }
+
+    /** Total inbound DRAM bytes divided by completed WRs (Fig. 4b). */
+    double dramBytesPerWr() const;
+
+  private:
+    /** Fetch the batch's WQEs via PCIe, then issue each WR. */
+    sim::Task processBatch(Rnic *target, std::vector<WorkReq> batch);
+
+    /** Drive one WR through initiator, fabric, responder and completion. */
+    sim::Task processOne(Rnic *target, WorkReq wr);
+
+    /** Occupy host PCIe for @p bytes and add the DMA latency. */
+    sim::Task pcieDma(std::uint32_t bytes);
+
+    /** Occupy the egress link towards @p dst, then propagate. */
+    sim::Task sendTo(Rnic &dst, std::uint32_t bytes);
+
+    /** Touch the MTT/MPT cache; on miss pay refetch pipeline+latency. */
+    sim::Task translate(std::uint64_t key);
+
+    sim::Simulator &sim_;
+    RnicConfig cfg_;
+    std::string name_;
+
+    sim::Resource pipeline_;
+    sim::Resource atomicUnits_;
+    sim::Resource dmaEngines_;
+    sim::Resource pcie_;
+    sim::Resource egress_;
+
+    LruCache mttCache_;
+    LruCache qpcCache_;
+
+    std::uint64_t owrNow_ = 0;
+    sim::Counter wqeHits_;
+    sim::Counter wqeMisses_;
+    sim::Rng rng_;
+
+    PerfCounters perf_;
+
+    std::unordered_map<std::uint32_t, MrRecord> mrs_;
+    std::uint32_t nextMrId_ = 1;
+    std::uint64_t nextUid_ = 1;
+
+    /** Key-space tag separating ICM entries from MTT page entries. */
+    static constexpr std::uint64_t kIcmTag = 1ull << 62;
+    std::uint64_t nextContext_ = 0;
+};
+
+} // namespace smart::rnic
+
+#endif // SMART_RNIC_RNIC_HPP

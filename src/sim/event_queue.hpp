@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Priority queue of timestamped callbacks — the heart of the DES kernel.
+ */
+
+#ifndef SMART_SIM_EVENT_QUEUE_HPP
+#define SMART_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace smart::sim {
+
+/**
+ * A stable min-heap of events ordered by (time, insertion sequence).
+ *
+ * Events inserted with equal timestamps execute in insertion order, which
+ * keeps the whole simulation deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute virtual time @p when. */
+    void
+    scheduleAt(Time when, Callback cb)
+    {
+        heap_.push(Item{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** @return true if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** @return timestamp of the earliest pending event. */
+    Time
+    nextTime() const
+    {
+        return heap_.empty() ? kTimeNever : heap_.top().when;
+    }
+
+    /**
+     * Pop the earliest event.
+     * @pre !empty()
+     */
+    Callback
+    pop(Time &when_out)
+    {
+        // std::priority_queue::top() is const; the callback must be moved
+        // out, so we const_cast the owned item (safe: popped immediately).
+        Item &top = const_cast<Item &>(heap_.top());
+        when_out = top.when;
+        Callback cb = std::move(top.cb);
+        heap_.pop();
+        return cb;
+    }
+
+    /** Total number of events ever scheduled (for perf reporting). */
+    std::uint64_t totalScheduled() const { return nextSeq_; }
+
+  private:
+    struct Item
+    {
+        Time when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Item &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace smart::sim
+
+#endif // SMART_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * FIFO-queued capacity-limited resources: the building block for every
+ * contended hardware structure in the model (CPUs, doorbell spinlocks,
+ * RNIC pipelines, DMA engines, links).
+ */
+
+#ifndef SMART_SIM_RESOURCE_HPP
+#define SMART_SIM_RESOURCE_HPP
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace smart::sim {
+
+/**
+ * A capacity-N resource with FIFO admission.
+ *
+ * Coroutines `co_await res.acquire()` and must call `release()` when done.
+ * For the common hold-for-a-duration pattern use `use(duration)`.
+ * Grants are delivered through the event queue (never by recursive resume),
+ * which keeps wakeup order deterministic and the native stack flat.
+ */
+class Resource
+{
+  public:
+    Resource(Simulator &sim, std::uint32_t capacity, std::string name = "")
+        : sim_(sim), capacity_(capacity), name_(std::move(name))
+    {
+        assert(capacity_ > 0);
+    }
+
+    Resource(const Resource &) = delete;
+    Resource &operator=(const Resource &) = delete;
+
+    /** Awaitable: returns once a unit of the resource is granted. */
+    auto
+    acquire()
+    {
+        struct Awaiter
+        {
+            Resource &res;
+
+            bool
+            await_ready() const noexcept
+            {
+                if (res.inUse_ < res.capacity_) {
+                    ++res.inUse_;
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                res.waiters_.push_back(h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    /** Return one unit; the oldest waiter (if any) is granted. */
+    void
+    release()
+    {
+        assert(inUse_ > 0);
+        if (!waiters_.empty()) {
+            // Hand the unit straight to the head waiter: inUse_ unchanged.
+            std::coroutine_handle<> h = waiters_.front();
+            waiters_.pop_front();
+            sim_.post(h);
+        } else {
+            --inUse_;
+        }
+    }
+
+    /** Hold one unit for @p duration virtual ns, then release. */
+    Task
+    use(Time duration)
+    {
+        co_await acquire();
+        co_await sim_.delay(duration);
+        release();
+    }
+
+    /** @return number of coroutines queued behind the resource. */
+    std::uint32_t waiters() const { return waiters_.size(); }
+
+    /** @return number of units currently held. */
+    std::uint32_t inUse() const { return inUse_; }
+
+    /** @return configured capacity. */
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** @return diagnostic name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    Simulator &sim_;
+    std::uint32_t capacity_;
+    std::uint32_t inUse_ = 0;
+    std::deque<std::coroutine_handle<>> waiters_;
+    std::string name_;
+};
+
+/**
+ * One-shot broadcast event: waiters suspend until `fire()`; waits after the
+ * event fired complete immediately.
+ */
+class Gate
+{
+  public:
+    explicit Gate(Simulator &sim) : sim_(sim) {}
+
+    /** Awaitable: resumes when (or immediately if) the gate has fired. */
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            Gate &gate;
+
+            bool await_ready() const noexcept { return gate.fired_; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                gate.waiters_.push_back(h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    /** Release all current and future waiters. */
+    void
+    fire()
+    {
+        if (fired_)
+            return;
+        fired_ = true;
+        for (std::coroutine_handle<> h : waiters_)
+            sim_.post(h);
+        waiters_.clear();
+    }
+
+    /** @return true once fire() was called. */
+    bool fired() const { return fired_; }
+
+  private:
+    Simulator &sim_;
+    bool fired_ = false;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace smart::sim
+
+#endif // SMART_SIM_RESOURCE_HPP

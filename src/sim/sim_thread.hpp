@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulated hardware thread: a capacity-1 CPU resource plus helpers.
+ *
+ * Application coroutines that "run on" a thread charge their CPU windows to
+ * it; while one coroutine holds the CPU (computing, or spinning on a
+ * doorbell lock) sibling coroutines of the same thread cannot make
+ * progress — exactly the cooperative-coroutine model of the paper.
+ */
+
+#ifndef SMART_SIM_SIM_THREAD_HPP
+#define SMART_SIM_SIM_THREAD_HPP
+
+#include <cstdint>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace smart::sim {
+
+/** One simulated CPU hardware thread (the paper pins one thread per core). */
+class SimThread
+{
+  public:
+    SimThread(Simulator &sim, std::uint32_t id)
+        : sim_(sim), cpu_(sim, 1, "cpu"), id_(id)
+    {
+    }
+
+    /** @return owning simulator. */
+    Simulator &sim() { return sim_; }
+
+    /** @return the CPU occupancy resource (capacity 1, FIFO). */
+    Resource &cpu() { return cpu_; }
+
+    /** @return thread index within its blade. */
+    std::uint32_t id() const { return id_; }
+
+    /**
+     * Charge @p d ns of CPU time to this thread.
+     * @pre the calling coroutine does not already hold the CPU.
+     */
+    Task
+    compute(Time d)
+    {
+        co_await cpu_.acquire();
+        co_await sim_.delay(d);
+        cpu_.release();
+    }
+
+  private:
+    Simulator &sim_;
+    Resource cpu_;
+    std::uint32_t id_;
+};
+
+} // namespace smart::sim
+
+#endif // SMART_SIM_SIM_THREAD_HPP

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Minimal C++20 coroutine task type used by simulated actors.
+ *
+ * A Task is lazy: it does not run until resumed by the owner (usually via
+ * Simulator::spawn / spawnDetached) or awaited by a parent coroutine.
+ * Awaiting a Task chains the parent as the continuation and transfers
+ * control symmetrically, so arbitrarily deep call chains do not grow the
+ * native stack.
+ */
+
+#ifndef SMART_SIM_TASK_HPP
+#define SMART_SIM_TASK_HPP
+
+#include <coroutine>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace smart::sim {
+
+/** A lazily-started coroutine returning void. */
+class Task
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation{};
+        bool detached = false;
+        bool *doneFlag = nullptr;
+
+        Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(Handle h) noexcept
+            {
+                promise_type &p = h.promise();
+                if (p.doneFlag)
+                    *p.doneFlag = true;
+                std::coroutine_handle<> next = p.continuation
+                    ? p.continuation
+                    : std::coroutine_handle<>{std::noop_coroutine()};
+                if (p.detached)
+                    h.destroy();
+                return next;
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void unhandled_exception() noexcept { std::terminate(); }
+    };
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+    Task(Task &&o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    /** @return true if this owns a coroutine frame. */
+    bool valid() const { return static_cast<bool>(handle_); }
+
+    /** @return true if the coroutine ran to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** Start or resume the coroutine (owner keeps the frame). */
+    void resume() { handle_.resume(); }
+
+    /**
+     * Release ownership and mark the frame self-destroying: the coroutine
+     * frame is destroyed automatically when it completes.
+     * @return the handle, to be resumed exactly once by the caller.
+     */
+    Handle
+    detach()
+    {
+        Handle h = std::exchange(handle_, {});
+        h.promise().detached = true;
+        return h;
+    }
+
+    /** Awaiting a task starts it and resumes the awaiter at completion. */
+    auto
+    operator co_await() && noexcept
+    {
+        struct Awaiter
+        {
+            Handle child;
+
+            bool await_ready() const noexcept { return !child || child.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> parent) noexcept
+            {
+                child.promise().continuation = parent;
+                return child; // symmetric transfer: start the child
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_{};
+};
+
+} // namespace smart::sim
+
+#endif // SMART_SIM_TASK_HPP

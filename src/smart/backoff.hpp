@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Truncated randomized exponential backoff (paper §4.3, Eq. 1) and the
+ * water-mark controller that adapts t_max / c_max from the retry rate.
+ * Pure logic, unit-testable without a simulation.
+ */
+
+#ifndef SMART_SMART_BACKOFF_HPP
+#define SMART_SMART_BACKOFF_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace smart {
+
+/**
+ * Backoff delay for the @p attempt-th consecutive failed retry:
+ *   t = min(t0 * 2^attempt, t_max) + Rand(t0)      (cycles)
+ *
+ * @param t0_cycles the backoff unit (≈ one RDMA round-trip)
+ * @param tmax_cycles current truncation limit
+ * @param attempt zero-based consecutive-failure count
+ */
+inline std::uint64_t
+backoffCycles(std::uint64_t t0_cycles, std::uint64_t tmax_cycles,
+              std::uint32_t attempt, sim::Rng &rng)
+{
+    std::uint32_t shift = std::min<std::uint32_t>(attempt, 32);
+    std::uint64_t t = std::min(t0_cycles << shift, tmax_cycles);
+    return t + rng.uniform(t0_cycles);
+}
+
+/**
+ * Water-mark adaptation state for one thread: dynamic t_max (backoff
+ * truncation) and c_max (coroutine concurrency). Fed with the retry rate
+ * γ once per sampling window.
+ */
+class ConflictController
+{
+  public:
+    ConflictController(std::uint64_t t0_cycles, std::uint64_t tmax_factor,
+                       std::uint32_t coro_upper, double gamma_high,
+                       double gamma_low)
+        : t0_(t0_cycles), tM_(t0_cycles * tmax_factor),
+          coroUpper_(coro_upper), gammaHigh_(gamma_high),
+          gammaLow_(gamma_low), tmax_(t0_cycles), cmax_(coro_upper)
+    {
+    }
+
+    /** @return current backoff truncation limit, in cycles. */
+    std::uint64_t tmaxCycles() const { return tmax_; }
+
+    /** @return current per-thread concurrent-operation limit. */
+    std::uint32_t cmax() const { return cmax_; }
+
+    /**
+     * Feed one sampling window's retry rate γ.
+     *
+     * @param gamma   fraction of operations that needed >= 1 retry
+     * @param coro_throttle adapt c_max (else only t_max moves)
+     * @param dyn_tmax      adapt t_max
+     */
+    void
+    update(double gamma, bool coro_throttle, bool dyn_tmax)
+    {
+        if (gamma > gammaHigh_) {
+            if (coro_throttle && cmax_ > 1) {
+                cmax_ = std::max(1u, cmax_ / 2);
+            } else if (dyn_tmax) {
+                tmax_ = std::min(tM_, tmax_ * 2);
+            }
+        } else if (gamma < gammaLow_) {
+            // Expand c_max first; t_max only moves once c_max hits its
+            // bound (paper §4.3).
+            if (coro_throttle && cmax_ < coroUpper_) {
+                cmax_ = std::min(coroUpper_, cmax_ * 2);
+            } else if (dyn_tmax && tmax_ > t0_) {
+                tmax_ = std::max(t0_, tmax_ / 2);
+            }
+        }
+    }
+
+  private:
+    std::uint64_t t0_;
+    std::uint64_t tM_;
+    std::uint32_t coroUpper_;
+    double gammaHigh_;
+    double gammaLow_;
+    std::uint64_t tmax_;
+    std::uint32_t cmax_;
+};
+
+} // namespace smart
+
+#endif // SMART_SMART_BACKOFF_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * A fat pointer into disaggregated memory: (blade RNIC, rkey, offset).
+ */
+
+#ifndef SMART_SMART_REMOTE_PTR_HPP
+#define SMART_SMART_REMOTE_PTR_HPP
+
+#include <cstdint>
+
+#include "rnic/rnic.hpp"
+
+namespace smart {
+
+/** Addresses one byte range in one memory blade's registered region. */
+struct RemotePtr
+{
+    rnic::Rnic *blade = nullptr;
+    std::uint32_t rkey = 0;
+    std::uint64_t offset = 0;
+
+    /** @return true if this points at a real location. */
+    bool valid() const { return blade != nullptr; }
+
+    /** Pointer arithmetic stays inside the same MR. */
+    RemotePtr
+    operator+(std::uint64_t delta) const
+    {
+        return RemotePtr{blade, rkey, offset + delta};
+    }
+
+    bool
+    operator==(const RemotePtr &o) const
+    {
+        return blade == o.blade && rkey == o.rkey && offset == o.offset;
+    }
+};
+
+} // namespace smart
+
+#endif // SMART_SMART_REMOTE_PTR_HPP

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Feature toggles and tuning constants of the SMART framework. Every
+ * paper technique can be switched independently, which is what the
+ * breakdown experiments (Figs. 8, 13, 14) sweep.
+ */
+
+#ifndef SMART_SMART_CONFIG_HPP
+#define SMART_SMART_CONFIG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace smart {
+
+/** Queue-pair / doorbell allocation policies compared in §3.1. */
+enum class QpPolicy : std::uint8_t
+{
+    SharedQp,        ///< one QP per blade shared by all threads
+    MultiplexedQp,   ///< each QP shared by `multiplexFactor` threads
+    PerThreadQp,     ///< per-thread QPs, default driver doorbell mapping
+    PerThreadDb,     ///< SMART: per-thread QPs bound to private doorbells
+    PerThreadContext ///< per-thread device contexts (X-RDMA style)
+};
+
+/** @return a short human-readable policy name. */
+inline const char *
+qpPolicyName(QpPolicy p)
+{
+    switch (p) {
+      case QpPolicy::SharedQp: return "shared-qp";
+      case QpPolicy::MultiplexedQp: return "multiplexed-qp";
+      case QpPolicy::PerThreadQp: return "per-thread-qp";
+      case QpPolicy::PerThreadDb: return "per-thread-db";
+      case QpPolicy::PerThreadContext: return "per-thread-ctx";
+    }
+    return "?";
+}
+
+/** Configuration of one SmartRuntime (one compute blade process). */
+struct SmartConfig
+{
+    // ---- §4.1 thread-aware resource allocation ----
+    QpPolicy qpPolicy = QpPolicy::PerThreadDb;
+    /** Threads per QP under MultiplexedQp. */
+    std::uint32_t multiplexFactor = 4;
+
+    // ---- §4.2 adaptive work request throttling (Algorithm 1) ----
+    bool workReqThrottle = true;
+    /** Initial / fallback per-thread credit limit C_max. */
+    std::uint32_t initialCmax = 8;
+    /** Candidate C_max values probed each epoch. */
+    std::vector<std::uint32_t> cmaxCandidates = {4, 6, 8, 10, 12};
+    /** Probe duration per candidate (paper: Δ = 8 ms). */
+    sim::Time probeIntervalNs = sim::msec(8);
+    /** Stable-phase duration (paper: T = 60·Δ = 480 ms). */
+    sim::Time stableIntervalNs = sim::msec(480);
+
+    // ---- §4.3 conflict avoidance ----
+    bool backoff = true;
+    bool dynBackoffLimit = true;
+    bool coroThrottle = true;
+    /** Backoff unit t0 in CPU cycles (~ one RDMA round-trip). */
+    std::uint64_t backoffUnitCycles = 4096;
+    /** Longest backoff: t_M = 2^10 · t0 by default. */
+    std::uint64_t backoffMaxFactor = 1024;
+    /** Retry-rate high water mark γ_H. */
+    double gammaHigh = 0.5;
+    /** Retry-rate low water mark γ_L. */
+    double gammaLow = 0.1;
+    /** Retry-rate sampling period (paper: every millisecond). */
+    sim::Time retryWindowNs = sim::msec(1);
+
+    /** Coroutines spawned per thread (concurrency depth upper bound). */
+    std::uint32_t corosPerThread = 8;
+
+    /** Per-coroutine local scratch buffer bytes. */
+    std::uint32_t scratchBytesPerCoro = 8192;
+};
+
+/** Convenience presets used throughout benches and tests. */
+namespace presets {
+
+/** Baseline: what existing apps do (per-thread QP, nothing else). */
+inline SmartConfig
+baseline()
+{
+    SmartConfig c;
+    c.qpPolicy = QpPolicy::PerThreadQp;
+    c.workReqThrottle = false;
+    c.backoff = false;
+    c.dynBackoffLimit = false;
+    c.coroThrottle = false;
+    return c;
+}
+
+/** Full SMART: all three techniques enabled. */
+inline SmartConfig
+full()
+{
+    return SmartConfig{};
+}
+
+/** Baseline + thread-aware resource allocation only. */
+inline SmartConfig
+thdResAlloc()
+{
+    SmartConfig c = baseline();
+    c.qpPolicy = QpPolicy::PerThreadDb;
+    return c;
+}
+
+/** ThdResAlloc + adaptive work request throttling. */
+inline SmartConfig
+workReqThrot()
+{
+    SmartConfig c = thdResAlloc();
+    c.workReqThrottle = true;
+    return c;
+}
+
+} // namespace presets
+
+} // namespace smart
+
+#endif // SMART_SMART_CONFIG_HPP

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * SmartCtx implementation: the coroutine-facing verbs-like API.
+ */
+
+#include "smart/smart_ctx.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace smart {
+
+using sim::Task;
+using sim::Time;
+
+SmartCtx::SmartCtx(SmartRuntime &rt, std::uint32_t tid,
+                   std::uint32_t coro_idx)
+    : rt_(rt), thr_(rt.thread(tid)), coroIdx_(coro_idx)
+{
+    syncState_.thread = &thr_;
+    scratchBase_ = rt_.scratchFor(tid, coro_idx, scratchTransKey_);
+    scratchSize_ = rt_.config().scratchBytesPerCoro;
+}
+
+std::uint32_t
+SmartCtx::bladeIndexOf(const RemotePtr &p) const
+{
+    for (std::uint32_t i = 0; i < rt_.bladeRnics_.size(); ++i) {
+        if (rt_.bladeRnics_[i] == p.blade)
+            return i;
+    }
+    assert(false && "RemotePtr does not address a connected blade");
+    return 0;
+}
+
+std::uint8_t *
+SmartCtx::scratch(std::uint32_t bytes)
+{
+    assert(bytes <= scratchSize_);
+    if (scratchPos_ + bytes > scratchSize_)
+        scratchPos_ = 0;
+    std::uint8_t *p = scratchBase_ + scratchPos_;
+    scratchPos_ += bytes;
+    return p;
+}
+
+void
+SmartCtx::stage(const RemotePtr &p, rnic::WorkReq wr)
+{
+    std::uint32_t idx = bladeIndexOf(p);
+    wr.rkey = p.rkey;
+    wr.remoteOffset = p.offset;
+    wr.localTransKey = scratchTransKey_;
+    wr.wrId = reinterpret_cast<std::uint64_t>(&syncState_);
+    // Ops stage into the *thread-local* WR buffer (§5.1): a later flush
+    // posts sibling coroutines' requests together under one doorbell.
+    ++syncState_.pending;
+    syncState_.done = false;
+    thr_.stageWr(idx, wr);
+    if (stagedBlades_.size() <= idx)
+        stagedBlades_.resize(idx + 1, false);
+    stagedBlades_[idx] = true;
+}
+
+void
+SmartCtx::read(RemotePtr src, void *local_buf, std::uint32_t len)
+{
+    rnic::WorkReq wr;
+    wr.op = rnic::Op::Read;
+    wr.length = len;
+    wr.localBuf = static_cast<std::uint8_t *>(local_buf);
+    stage(src, wr);
+}
+
+void
+SmartCtx::write(RemotePtr dst, const void *local_buf, std::uint32_t len)
+{
+    rnic::WorkReq wr;
+    wr.op = rnic::Op::Write;
+    wr.length = len;
+    // Copy-on-stage: RDMA requires source buffers to stay stable until
+    // completion; staging into coroutine scratch frees the caller from
+    // that obligation.
+    std::uint8_t *copy = scratch(len);
+    std::memcpy(copy, local_buf, len);
+    wr.localBuf = copy;
+    stage(dst, wr);
+}
+
+void
+SmartCtx::cas(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
+              std::uint64_t *result)
+{
+    rnic::WorkReq wr;
+    wr.op = rnic::Op::Cas;
+    wr.length = 8;
+    wr.compare = expect;
+    wr.swap = desired;
+    wr.localBuf = result ? reinterpret_cast<std::uint8_t *>(result)
+                         : scratch(8);
+    stage(dst, wr);
+}
+
+void
+SmartCtx::faa(RemotePtr dst, std::uint64_t add, std::uint64_t *result)
+{
+    rnic::WorkReq wr;
+    wr.op = rnic::Op::Faa;
+    wr.length = 8;
+    wr.compare = add;
+    wr.localBuf = result ? reinterpret_cast<std::uint8_t *>(result)
+                         : scratch(8);
+    stage(dst, wr);
+}
+
+Task
+SmartCtx::postSend()
+{
+    // Kick the thread's flusher for every blade this coroutine staged
+    // to; the flusher drains the whole thread buffer (including sibling
+    // coroutines' requests) under single doorbell rings.
+    for (std::uint32_t blade = 0; blade < stagedBlades_.size(); ++blade) {
+        if (stagedBlades_[blade]) {
+            stagedBlades_[blade] = false;
+            thr_.kickFlush(blade);
+        }
+    }
+    co_return;
+}
+
+Task
+SmartCtx::sync()
+{
+    if (syncState_.pending > 0) {
+        // Park until the dispatch path counts this coroutine's last CQE.
+        struct Awaiter
+        {
+            SyncState &state;
+            bool await_ready() const noexcept { return state.done; }
+            void
+            await_suspend(std::coroutine_handle<> h) noexcept
+            {
+                state.waiter = h;
+            }
+            void await_resume() const noexcept {}
+        };
+        co_await Awaiter{syncState_};
+    }
+    // Pay the polling costs for the CQEs consumed on our behalf.
+    if (syncState_.sinceCharge > 0) {
+        std::uint32_t n = syncState_.sinceCharge;
+        syncState_.sinceCharge = 0;
+        co_await rt_.cqFor(thr_.id()).chargePoll(thr_.simThread(), n);
+    }
+}
+
+Task
+SmartCtx::readSync(RemotePtr src, void *local_buf, std::uint32_t len)
+{
+    read(src, local_buf, len);
+    co_await postSend();
+    co_await sync();
+}
+
+Task
+SmartCtx::writeSync(RemotePtr dst, const void *local_buf, std::uint32_t len)
+{
+    write(dst, local_buf, len);
+    co_await postSend();
+    co_await sync();
+}
+
+Task
+SmartCtx::casSync(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
+                  std::uint64_t &old_value, bool &success)
+{
+    thr_.casAttempts.add();
+    std::uint64_t result = 0;
+    cas(dst, expect, desired, &result);
+    co_await postSend();
+    co_await sync();
+    old_value = result;
+    success = (result == expect);
+    if (!success)
+        thr_.casFails.add();
+}
+
+Task
+SmartCtx::backoffCasSync(RemotePtr dst, std::uint64_t expect,
+                         std::uint64_t desired, std::uint64_t &old_value,
+                         bool &success)
+{
+    co_await casSync(dst, expect, desired, old_value, success);
+    if (success) {
+        casFailStreak_ = 0;
+        co_return;
+    }
+    const SmartConfig &cfg = rt_.config();
+    if (cfg.backoff) {
+        std::uint64_t tmax_cycles = cfg.dynBackoffLimit
+            ? thr_.conflictCtrl().tmaxCycles()
+            : cfg.backoffUnitCycles * cfg.backoffMaxFactor;
+        std::uint64_t cycles = backoffCycles(
+            cfg.backoffUnitCycles, tmax_cycles, casFailStreak_, thr_.rng());
+        ++casFailStreak_;
+        // The coroutine yields for the backoff window (sibling coroutines
+        // keep the thread busy); concurrency reduction under contention
+        // is the coroutine gate's job.
+        co_await sim().delay(sim::cyclesToNs(cycles));
+    }
+}
+
+Task
+SmartCtx::compute(Time d)
+{
+    co_await thr_.simThread().compute(d);
+}
+
+Task
+SmartCtx::opBegin()
+{
+    co_await thr_.coroGate().acquire();
+}
+
+void
+SmartCtx::opEnd()
+{
+    thr_.coroGate().release();
+}
+
+} // namespace smart

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * SmartCtx: the per-coroutine programming interface of SMART (§5.1).
+ *
+ * The API mirrors one-sided RDMA verbs: read/write/cas/faa stage work
+ * requests into a local buffer, postSend() submits them (with Algorithm-1
+ * credit throttling), sync() suspends the coroutine until all its posted
+ * WRs complete, and backoffCasSync() adds §4.3 conflict avoidance.
+ */
+
+#ifndef SMART_SMART_CTX_HPP
+#define SMART_SMART_CTX_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "smart/remote_ptr.hpp"
+#include "smart/smart_runtime.hpp"
+
+namespace smart {
+
+/**
+ * Handle held by one application coroutine. Not thread-safe (it belongs
+ * to exactly one coroutine, which belongs to exactly one thread).
+ */
+class SmartCtx
+{
+  public:
+    SmartCtx(SmartRuntime &rt, std::uint32_t tid, std::uint32_t coro_idx);
+
+    SmartRuntime &runtime() { return rt_; }
+    SmartThread &thread() { return thr_; }
+    sim::Simulator &sim() { return rt_.sim(); }
+    std::uint32_t coroIndex() const { return coroIdx_; }
+
+    // ---- verb-like staging API ----
+
+    /** Stage a READ of @p len bytes from @p src into @p local_buf. */
+    void read(RemotePtr src, void *local_buf, std::uint32_t len);
+
+    /**
+     * Stage a WRITE of @p len bytes to @p dst. The payload is copied into
+     * coroutine scratch at staging time, so the caller may reuse
+     * @p local_buf immediately.
+     */
+    void write(RemotePtr dst, const void *local_buf, std::uint32_t len);
+
+    /**
+     * Stage an 8-byte compare-and-swap on @p dst. The old value lands in
+     * @p result (must stay valid until sync()).
+     */
+    void cas(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
+             std::uint64_t *result);
+
+    /** Stage an 8-byte fetch-and-add on @p dst. */
+    void faa(RemotePtr dst, std::uint64_t add, std::uint64_t *result);
+
+    /** Post all staged WRs (SMARTPOSTSEND: waits for credits if needed). */
+    sim::Task postSend();
+
+    /** Suspend until every WR this coroutine posted has completed. */
+    sim::Task sync();
+
+    // ---- convenience combinations ----
+    sim::Task readSync(RemotePtr src, void *local_buf, std::uint32_t len);
+    sim::Task writeSync(RemotePtr dst, const void *local_buf,
+                        std::uint32_t len);
+
+    /**
+     * CAS + sync with §4.3 conflict avoidance: on failure, delays the
+     * coroutine by the truncated exponential backoff before returning, so
+     * the caller can reload the expected value and retry.
+     *
+     * @param[out] old_value the value found at @p dst
+     * @param[out] success   true if the swap was installed
+     */
+    sim::Task backoffCasSync(RemotePtr dst, std::uint64_t expect,
+                             std::uint64_t desired, std::uint64_t &old_value,
+                             bool &success);
+
+    /** Plain CAS + sync without conflict avoidance (baseline path). */
+    sim::Task casSync(RemotePtr dst, std::uint64_t expect,
+                      std::uint64_t desired, std::uint64_t &old_value,
+                      bool &success);
+
+    /** Charge @p d ns of CPU work on this coroutine's thread. */
+    sim::Task compute(sim::Time d);
+
+    /**
+     * Admission gate for one application-level operation (coroutine
+     * throttling, §4.3). Call opBegin() before starting an operation and
+     * opEnd() after it completes.
+     */
+    sim::Task opBegin();
+    void opEnd();
+
+    /** @return scratch bytes private to this coroutine (ring-allocated). */
+    std::uint8_t *scratch(std::uint32_t bytes);
+
+    /** Consecutive failed-CAS streak (drives the backoff exponent). */
+    std::uint32_t casFailStreak() const { return casFailStreak_; }
+
+  private:
+    SmartRuntime &rt_;
+    SmartThread &thr_;
+    std::uint32_t coroIdx_;
+
+    SyncState syncState_;
+    std::vector<bool> stagedBlades_; // blades staged to since last post
+
+    std::uint8_t *scratchBase_ = nullptr;
+    std::uint64_t scratchTransKey_ = 0;
+    std::uint32_t scratchSize_ = 0;
+    std::uint32_t scratchPos_ = 0;
+
+    std::uint32_t casFailStreak_ = 0;
+
+    std::uint32_t bladeIndexOf(const RemotePtr &p) const;
+    void stage(const RemotePtr &p, rnic::WorkReq wr);
+};
+
+} // namespace smart
+
+#endif // SMART_SMART_CTX_HPP

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Implementation of the verbs layer.
+ */
+
+#include "verbs/verbs.hpp"
+
+#include <algorithm>
+
+namespace smart::verbs {
+
+Task
+Cq::pollUntil(SimThread &thr, const bool &done)
+{
+    std::uint64_t delivered_at_entry = delivered_;
+    while (!done)
+        co_await parkForEntry();
+    std::uint64_t consumed = delivered_ - delivered_at_entry;
+    co_await chargePoll(
+        thr, static_cast<std::uint32_t>(std::min<std::uint64_t>(consumed,
+                                                                256)));
+}
+
+Task
+Cq::chargePoll(SimThread &thr, std::uint32_t ncqes)
+{
+    co_await thr.cpu().acquire();
+    co_await lock_.acquire();
+    Time penalty = cfg_.lockBaseNs + lockHoldPenalty(cfg_, lock_);
+    co_await sim_.delay(penalty + cfg_.cqePollNs * ncqes);
+    lock_.release();
+    thr.cpu().release();
+}
+
+Qp::Qp(Context &ctx, Cq &cq, Rnic *target, Uar *uar)
+    : ctx_(ctx), cq_(&cq), target_(target), uar_(uar),
+      qpLock_(ctx.sim(), 1, "qp")
+{
+    uar_->boundQps++;
+}
+
+Task
+Qp::postSend(SimThread &thr, std::vector<WorkReq> wrs)
+{
+    const RnicConfig &cfg = ctx_.config();
+    Simulator &sim = ctx_.sim();
+
+    for (WorkReq &wr : wrs) {
+        wr.sink = cq_;
+        wr.icmBase = ctx_.icmBase();
+    }
+
+    // The whole post path runs on (and burns) the caller's CPU: building
+    // WQEs, spinning on the QP lock, spinning on the doorbell lock.
+    co_await thr.cpu().acquire();
+
+    co_await qpLock_.acquire();
+    // QP-lock bouncing: threads that share this QP (multiplexing, shared
+    // QP) keep pulling the lock line between their caches.
+    std::uint32_t qp_sharers = std::max(
+        qpLock_.waiters(),
+        qpSharers_.activeSharers(&thr, sim.now(), cfg.bounceWindowNs));
+    qp_sharers = std::min(qp_sharers, cfg.lockBounceWaiterCap);
+    qpSharers_.noteUse(&thr, sim.now());
+    Time qp_cost = cfg.lockBaseNs +
+                   cfg.lockBouncePerWaiterNs * qp_sharers +
+                   cfg.wqeBuildNs * static_cast<Time>(wrs.size());
+    co_await sim.delay(qp_cost);
+
+    // Ring the doorbell: MMIO write under the UAR spinlock. When several
+    // threads' QPs share this UAR the handoff serializes them — the
+    // paper's "implicit doorbell contention".
+    Time wait_start = sim.now();
+    co_await uar_->lock.acquire();
+    ctx_.rnic().perf().doorbellWaitNs.add(sim.now() - wait_start);
+    ctx_.rnic().perf().doorbellRings.add();
+    // Bounce cost scales with the number of other QPs actively ringing
+    // this doorbell (their cores' caches hold the lock line), or with
+    // queued spinners if that is momentarily larger.
+    std::uint32_t sharers = std::max(
+        uar_->lock.waiters(),
+        uar_->sharers.activeSharers(this, sim.now(), cfg.bounceWindowNs));
+    sharers = std::min(sharers, cfg.lockBounceWaiterCap);
+    uar_->sharers.noteUse(this, sim.now());
+    Time ring_cost =
+        cfg.doorbellRingNs + cfg.lockBouncePerWaiterNs * sharers;
+    co_await sim.delay(ring_cost);
+    uar_->lock.release();
+
+    qpLock_.release();
+    thr.cpu().release();
+
+    ctx_.rnic().postBatch(target_, std::move(wrs));
+}
+
+Context::Context(Simulator &sim, Rnic &rnic, std::uint32_t total_uars)
+    : sim_(sim), rnic_(rnic)
+{
+    icmBase_ = rnic_.allocContextIcm();
+    const RnicConfig &cfg = rnic.config();
+    numLow_ = cfg.numLowLatencyUars;
+    numMedium_ = total_uars == 0 ? cfg.numMediumUars : total_uars;
+    numMedium_ = std::min(numMedium_, cfg.maxUars - numLow_);
+    std::uint32_t id = 0;
+    for (std::uint32_t i = 0; i < numLow_; ++i)
+        uars_.push_back(std::make_unique<Uar>(sim_, id++, true));
+    for (std::uint32_t i = 0; i < numMedium_; ++i)
+        uars_.push_back(std::make_unique<Uar>(sim_, id++, false));
+}
+
+const rnic::MrRecord &
+Context::regMr(std::uint8_t *base, std::uint64_t length)
+{
+    return rnic_.registerMemory(base, length);
+}
+
+Uar *
+Context::predictNextUar()
+{
+    if (rnic_.config().reserveLowLatencyUars) {
+        // App QPs only ever see the medium-latency pool.
+        return uars_[numLow_ + qpsCreated_ % numMedium_].get();
+    }
+    if (qpsCreated_ < numLow_)
+        return uars_[qpsCreated_].get();
+    std::uint32_t medium = (qpsCreated_ - numLow_) % numMedium_;
+    return uars_[numLow_ + medium].get();
+}
+
+std::unique_ptr<Qp>
+Context::createQp(Cq &cq, Rnic *target)
+{
+    Uar *uar = predictNextUar();
+    ++qpsCreated_;
+    return std::make_unique<Qp>(*this, cq, target, uar);
+}
+
+} // namespace smart::verbs

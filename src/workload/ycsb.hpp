@@ -1,0 +1,117 @@
+/**
+ * @file
+ * YCSB-style workload generation: Zipfian key popularity (θ = 0.99 by
+ * default, as in the paper) with FNV scattering, and the paper's three
+ * read/write mixes (§6.2.1).
+ */
+
+#ifndef SMART_WORKLOAD_YCSB_HPP
+#define SMART_WORKLOAD_YCSB_HPP
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+
+namespace smart::workload {
+
+/** Operation kinds issued by the index benchmarks. */
+enum class YcsbOp : std::uint8_t { Lookup, Update, Insert };
+
+/** Operation mix (fractions must sum to 1). */
+struct YcsbMix
+{
+    double lookup = 1.0;
+    double update = 0.0;
+    double insert = 0.0;
+
+    /** 50% updates / 50% lookups. */
+    static YcsbMix
+    writeHeavy()
+    {
+        return {0.5, 0.5, 0.0};
+    }
+
+    /** 5% updates / 95% lookups. */
+    static YcsbMix
+    readHeavy()
+    {
+        return {0.95, 0.05, 0.0};
+    }
+
+    /** 100% lookups. */
+    static YcsbMix
+    readOnly()
+    {
+        return {1.0, 0.0, 0.0};
+    }
+
+    /** 100% updates (the conflict-avoidance stress of Fig. 14). */
+    static YcsbMix
+    updateOnly()
+    {
+        return {0.0, 1.0, 0.0};
+    }
+
+    const char *
+    name() const
+    {
+        if (update == 0.0 && insert == 0.0)
+            return "read-only";
+        if (update >= 0.5)
+            return update >= 1.0 ? "update-only" : "write-heavy";
+        return "read-heavy";
+    }
+};
+
+/** One generated request. */
+struct YcsbRequest
+{
+    YcsbOp op = YcsbOp::Lookup;
+    std::uint64_t key = 0;
+};
+
+/**
+ * Per-coroutine request stream: Zipfian rank -> scattered key id in
+ * [0, numKeys), operation drawn from the mix.
+ */
+class YcsbGenerator
+{
+  public:
+    /**
+     * @param zetan precomputed zeta(numKeys, theta); pass 0 to compute
+     *        (O(n) — share across coroutines via ZipfianGenerator::zeta).
+     */
+    YcsbGenerator(std::uint64_t num_keys, double theta, const YcsbMix &mix,
+                  std::uint64_t seed, double zetan = 0.0)
+        : zipf_(num_keys, theta, seed, zetan), rng_(seed ^ 0x1234567),
+          mix_(mix), numKeys_(num_keys)
+    {
+    }
+
+    /** @return the next request. */
+    YcsbRequest
+    next()
+    {
+        YcsbRequest req;
+        std::uint64_t rank = zipf_.next();
+        req.key = smart::sim::scatterKey(rank, numKeys_);
+        double p = rng_.uniformDouble();
+        if (p < mix_.lookup)
+            req.op = YcsbOp::Lookup;
+        else if (p < mix_.lookup + mix_.update)
+            req.op = YcsbOp::Update;
+        else
+            req.op = YcsbOp::Insert;
+        return req;
+    }
+
+  private:
+    smart::sim::ZipfianGenerator zipf_;
+    smart::sim::Rng rng_;
+    YcsbMix mix_;
+    std::uint64_t numKeys_;
+};
+
+} // namespace smart::workload
+
+#endif // SMART_WORKLOAD_YCSB_HPP

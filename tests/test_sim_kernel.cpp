@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel: event ordering,
+ * coroutine tasks, resources, gates, RNG, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/sim_thread.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "sim/task.hpp"
+
+using namespace smart::sim;
+
+// ---------------------------------------------------------------- events
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    Time t = 0;
+    while (!q.empty())
+        q.pop(t)();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(t, 30u);
+}
+
+TEST(EventQueue, StableAtSameTimestamp)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.scheduleAt(5, [&order, i] { order.push_back(i); });
+    Time t = 0;
+    while (!q.empty())
+        q.pop(t)();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTime(), kTimeNever);
+    q.scheduleAt(42, [] {});
+    q.scheduleAt(7, [] {});
+    EXPECT_EQ(q.nextTime(), 7u);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents)
+{
+    Simulator sim;
+    Time seen = 0;
+    sim.schedule(100, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(100, [&] { ++fired; });
+    sim.schedule(200, [&] { ++fired; });
+    sim.runUntil(150);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 150u);
+    sim.runUntil(250);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduledAtPastClampsToNow)
+{
+    Simulator sim;
+    sim.schedule(50, [] {});
+    sim.runUntil(50);
+    int fired = 0;
+    sim.scheduleAt(10, [&] { ++fired; }); // in the past
+    sim.run();
+    EXPECT_EQ(fired, 1);
+}
+
+// ----------------------------------------------------------------- tasks
+
+namespace {
+
+Task
+delayTwice(Simulator &sim, Time d, int &counter)
+{
+    co_await sim.delay(d);
+    ++counter;
+    co_await sim.delay(d);
+    ++counter;
+}
+
+Task
+parentTask(Simulator &sim, int &counter)
+{
+    co_await delayTwice(sim, 5, counter);
+    counter += 10;
+}
+
+} // namespace
+
+TEST(Task, DelayResumesAtRightTime)
+{
+    Simulator sim;
+    int counter = 0;
+    sim.spawn(delayTwice(sim, 10, counter));
+    sim.runUntil(9);
+    EXPECT_EQ(counter, 0);
+    sim.runUntil(10);
+    EXPECT_EQ(counter, 1);
+    sim.run();
+    EXPECT_EQ(counter, 2);
+    EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(Task, AwaitingChildRunsToCompletionFirst)
+{
+    Simulator sim;
+    int counter = 0;
+    sim.spawn(parentTask(sim, counter));
+    sim.run();
+    EXPECT_EQ(counter, 12);
+}
+
+TEST(Task, DetachedTasksSelfDestroy)
+{
+    Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 100; ++i)
+        sim.spawnDetached(delayTwice(sim, 1, counter));
+    sim.run();
+    EXPECT_EQ(counter, 200);
+}
+
+// ------------------------------------------------------------- resources
+
+namespace {
+
+Task
+useResource(Simulator &sim, Resource &res, Time hold, std::vector<int> &log,
+            int id)
+{
+    co_await res.acquire();
+    log.push_back(id);
+    co_await sim.delay(hold);
+    res.release();
+}
+
+} // namespace
+
+TEST(Resource, SerializesCapacityOne)
+{
+    Simulator sim;
+    Resource res(sim, 1);
+    std::vector<int> log;
+    for (int i = 0; i < 4; ++i)
+        sim.spawn(useResource(sim, res, 10, log, i));
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(sim.now(), 40u); // fully serialized
+    EXPECT_EQ(res.inUse(), 0u);
+}
+
+TEST(Resource, CapacityNOverlaps)
+{
+    Simulator sim;
+    Resource res(sim, 3);
+    std::vector<int> log;
+    for (int i = 0; i < 6; ++i)
+        sim.spawn(useResource(sim, res, 10, log, i));
+    sim.run();
+    EXPECT_EQ(sim.now(), 20u); // two waves of three
+}
+
+TEST(Resource, WaitersCountVisible)
+{
+    Simulator sim;
+    Resource res(sim, 1);
+    std::vector<int> log;
+    for (int i = 0; i < 5; ++i)
+        sim.spawn(useResource(sim, res, 100, log, i));
+    sim.runUntil(50);
+    EXPECT_EQ(res.inUse(), 1u);
+    EXPECT_EQ(res.waiters(), 4u);
+}
+
+TEST(Gate, ReleasesAllWaiters)
+{
+    Simulator sim;
+    Gate gate(sim);
+    int done = 0;
+    auto waiter = [](Gate &g, int &d) -> Task {
+        co_await g.wait();
+        ++d;
+    };
+    for (int i = 0; i < 3; ++i)
+        sim.spawn(waiter(gate, done));
+    sim.schedule(10, [&] { gate.fire(); });
+    sim.run();
+    EXPECT_EQ(done, 3);
+    EXPECT_TRUE(gate.fired());
+}
+
+TEST(Gate, WaitAfterFireIsImmediate)
+{
+    Simulator sim;
+    Gate gate(sim);
+    gate.fire();
+    int done = 0;
+    auto waiter = [](Gate &g, int &d) -> Task {
+        co_await g.wait();
+        ++d;
+    };
+    sim.spawn(waiter(gate, done));
+    sim.run();
+    EXPECT_EQ(done, 1);
+}
+
+// -------------------------------------------------------------- simthread
+
+namespace {
+
+Task
+computeLoop(SimThread &thr, int n, Time per, int &done)
+{
+    for (int i = 0; i < n; ++i)
+        co_await thr.compute(per);
+    ++done;
+}
+
+} // namespace
+
+TEST(SimThread, CpuIsExclusivePerThread)
+{
+    Simulator sim;
+    SimThread thr(sim, 0);
+    int done = 0;
+    sim.spawn(computeLoop(thr, 5, 10, done));
+    sim.spawn(computeLoop(thr, 5, 10, done));
+    sim.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(sim.now(), 100u); // two coroutines serialized on one CPU
+}
+
+TEST(SimThread, SeparateThreadsOverlap)
+{
+    Simulator sim;
+    SimThread a(sim, 0);
+    SimThread b(sim, 1);
+    int done = 0;
+    sim.spawn(computeLoop(a, 5, 10, done));
+    sim.spawn(computeLoop(b, 5, 10, done));
+    sim.run();
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, UniformWithinBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = rng.uniform(37);
+        EXPECT_LT(v, 37u);
+    }
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = rng.uniformRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.uniformDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Zipfian, UniformWhenThetaZero)
+{
+    ZipfianGenerator gen(100, 0.0, 3);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i)
+        counts[gen.next()]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, 1000, 350);
+}
+
+TEST(Zipfian, SkewConcentratesOnHotKeys)
+{
+    ZipfianGenerator gen(1000000, 0.99, 3);
+    std::uint64_t hot = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (gen.next() < 100)
+            ++hot;
+    }
+    // With theta=0.99 the top-100 of 1M keys draw >30% of accesses.
+    EXPECT_GT(hot, n * 3 / 10);
+}
+
+TEST(Zipfian, AllKeysInRange)
+{
+    ZipfianGenerator gen(50, 0.99, 5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(gen.next(), 50u);
+}
+
+TEST(ScatterKey, DeterministicAndInRange)
+{
+    EXPECT_EQ(scatterKey(42, 1000), scatterKey(42, 1000));
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        EXPECT_LT(scatterKey(k, 123), 123u);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Counter, DeltaTracksWindow)
+{
+    Counter c;
+    c.add(10);
+    EXPECT_EQ(c.delta(), 10u);
+    c.add(5);
+    EXPECT_EQ(c.delta(), 5u);
+    EXPECT_EQ(c.delta(), 0u);
+    EXPECT_EQ(c.value(), 15u);
+}
+
+TEST(LatencyHistogram, ExactInFirstOctave)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(17);
+    EXPECT_EQ(h.percentile(50), 17u);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.max(), 17u);
+    EXPECT_EQ(h.min(), 17u);
+}
+
+TEST(LatencyHistogram, PercentilesOrdered)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 10000; ++v)
+        h.record(v * 100);
+    std::uint64_t p50 = h.percentile(50);
+    std::uint64_t p90 = h.percentile(90);
+    std::uint64_t p99 = h.percentile(99);
+    EXPECT_LT(p50, p90);
+    EXPECT_LT(p90, p99);
+    // Log-linear buckets: relative error under ~2%.
+    EXPECT_NEAR(static_cast<double>(p50), 500000.0, 500000.0 * 0.02);
+    EXPECT_NEAR(static_cast<double>(p99), 990000.0, 990000.0 * 0.02);
+}
+
+TEST(LatencyHistogram, MergeCombines)
+{
+    LatencyHistogram a, b;
+    a.record(100);
+    b.record(300);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_GE(a.max(), 300u);
+    EXPECT_LE(a.min(), 100u);
+}
+
+TEST(LatencyHistogram, LargeValuesDoNotOverflowBuckets)
+{
+    LatencyHistogram h;
+    h.record(~std::uint64_t{0} >> 1);
+    h.record(1ull << 45);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GT(h.percentile(99), 0u);
+}
+
+TEST(Table, PrintsAlignedAndCsv)
+{
+    Table t({"a", "bb"});
+    t.row().cell(std::uint64_t{1}).cell(2.5, 1);
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(Types, CyclesToNs)
+{
+    // 2.4 GHz: 4096 cycles ~ 1706 ns (the paper's t0 ~ one roundtrip).
+    EXPECT_EQ(cyclesToNs(4096), 1706u);
+    EXPECT_EQ(cyclesToNs(0), 0u);
+}

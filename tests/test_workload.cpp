@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the workload generators (YCSB mixes, Zipfian properties,
+ * scattering) and the parameter-server application.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/paramserver/param_server.hpp"
+#include "harness/testbed.hpp"
+#include "workload/ycsb.hpp"
+
+using namespace smart;
+using namespace smart::workload;
+using namespace smart::harness;
+using sim::Task;
+
+// ------------------------------------------------------------------ mixes
+
+namespace {
+
+struct MixCase
+{
+    YcsbMix mix;
+    double expect_lookup;
+    double expect_update;
+};
+
+class MixRatios : public ::testing::TestWithParam<MixCase>
+{
+};
+
+} // namespace
+
+TEST_P(MixRatios, GeneratedFractionsMatchMix)
+{
+    const MixCase &tc = GetParam();
+    YcsbGenerator gen(10'000, 0.99, tc.mix, 7,
+                      sim::ZipfianGenerator::zeta(10'000, 0.99));
+    int lookups = 0;
+    int updates = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+        YcsbRequest r = gen.next();
+        lookups += r.op == YcsbOp::Lookup;
+        updates += r.op == YcsbOp::Update;
+        EXPECT_LT(r.key, 10'000u);
+    }
+    EXPECT_NEAR(static_cast<double>(lookups) / n, tc.expect_lookup, 0.02);
+    EXPECT_NEAR(static_cast<double>(updates) / n, tc.expect_update, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMixes, MixRatios,
+    ::testing::Values(MixCase{YcsbMix::writeHeavy(), 0.5, 0.5},
+                      MixCase{YcsbMix::readHeavy(), 0.95, 0.05},
+                      MixCase{YcsbMix::readOnly(), 1.0, 0.0},
+                      MixCase{YcsbMix::updateOnly(), 0.0, 1.0}));
+
+TEST(YcsbMixNames, DescribeThemselves)
+{
+    EXPECT_STREQ(YcsbMix::writeHeavy().name(), "write-heavy");
+    EXPECT_STREQ(YcsbMix::readHeavy().name(), "read-heavy");
+    EXPECT_STREQ(YcsbMix::readOnly().name(), "read-only");
+    EXPECT_STREQ(YcsbMix::updateOnly().name(), "update-only");
+}
+
+TEST(YcsbGenerator, DeterministicPerSeed)
+{
+    double zetan = sim::ZipfianGenerator::zeta(1000, 0.99);
+    YcsbGenerator a(1000, 0.99, YcsbMix::writeHeavy(), 42, zetan);
+    YcsbGenerator b(1000, 0.99, YcsbMix::writeHeavy(), 42, zetan);
+    for (int i = 0; i < 1000; ++i) {
+        YcsbRequest ra = a.next();
+        YcsbRequest rb = b.next();
+        EXPECT_EQ(ra.key, rb.key);
+        EXPECT_EQ(static_cast<int>(ra.op), static_cast<int>(rb.op));
+    }
+}
+
+TEST(YcsbGenerator, DifferentSeedsDiverge)
+{
+    double zetan = sim::ZipfianGenerator::zeta(100'000, 0.99);
+    YcsbGenerator a(100'000, 0.99, YcsbMix::readOnly(), 1, zetan);
+    YcsbGenerator b(100'000, 0.99, YcsbMix::readOnly(), 2, zetan);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().key == b.next().key;
+    EXPECT_LT(same, 500); // hot keys will still collide sometimes
+}
+
+// -------------------------------------------------------- zipf properties
+
+namespace {
+
+class ZipfThetaSweep : public ::testing::TestWithParam<double>
+{
+};
+
+} // namespace
+
+TEST_P(ZipfThetaSweep, HigherSkewConcentratesMore)
+{
+    double theta = GetParam();
+    sim::ZipfianGenerator gen(100'000, theta, 9);
+    std::map<std::uint64_t, int> counts;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        counts[gen.next()]++;
+    // Top-1 key share grows with skew; distinct keys shrink.
+    int top = 0;
+    for (const auto &[k, c] : counts)
+        top = std::max(top, c);
+    if (theta == 0.0) {
+        EXPECT_LT(top, n / 1000);
+    } else if (theta >= 0.99) {
+        EXPECT_GT(top, n / 30); // hottest key draws a few percent
+    }
+    EXPECT_GT(counts.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaSweep,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99));
+
+// --------------------------------------------------------- param server
+
+namespace {
+
+struct PsFixture : ::testing::Test
+{
+    TestbedConfig tcfg;
+    std::unique_ptr<Testbed> tb;
+    std::unique_ptr<paramserver::ParamServer> ps;
+
+    void
+    build(std::uint32_t threads, std::uint64_t rows, std::uint32_t dim)
+    {
+        tcfg.computeBlades = 1;
+        tcfg.memoryBlades = 2;
+        tcfg.threadsPerBlade = threads;
+        tcfg.bladeBytes = 64ull << 20;
+        tcfg.smart = presets::full();
+        tb = std::make_unique<Testbed>(tcfg);
+        std::vector<memblade::MemoryBlade *> blades;
+        for (std::uint32_t i = 0; i < tb->numMemBlades(); ++i)
+            blades.push_back(&tb->memBlade(i));
+        ps = std::make_unique<paramserver::ParamServer>(blades, rows, dim);
+    }
+};
+
+} // namespace
+
+TEST_F(PsFixture, RowsShardAcrossBlades)
+{
+    build(1, 100, 4);
+    EXPECT_NE(ps->shardOf(0), ps->shardOf(1));
+    EXPECT_EQ(ps->shardOf(0), ps->shardOf(2));
+}
+
+TEST_F(PsFixture, PushThenPullRoundTrips)
+{
+    build(1, 64, 4);
+    bool done = false;
+    tb->compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
+        std::vector<std::uint64_t> rows{3, 7};
+        std::vector<std::int64_t> grads{1, 2, 3, 4, 5, 6, 7, 8};
+        co_await ps->push(ctx, rows, grads);
+        std::vector<std::int64_t> vals;
+        co_await ps->pull(ctx, rows, vals);
+        EXPECT_EQ(vals.size(), 8u);
+        if (vals.size() == 8u) {
+            for (int i = 0; i < 8; ++i)
+                EXPECT_EQ(vals[i], grads[i]);
+        }
+        done = true;
+    });
+    tb->sim().runUntil(sim::msec(50));
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ps->hostValue(3, 0), 1);
+    EXPECT_EQ(ps->hostValue(7, 3), 8);
+}
+
+TEST_F(PsFixture, ConcurrentPushesNeverLoseUpdates)
+{
+    build(8, 16, 4); // few rows: heavy FAA aliasing
+    int done = 0;
+    for (std::uint32_t t = 0; t < 8; ++t) {
+        tb->compute(0).spawnWorker(t, [&, t](SmartCtx &ctx) -> Task {
+            sim::Rng rng(t + 3);
+            std::vector<std::uint64_t> rows(2);
+            std::vector<std::int64_t> grads(8, 1);
+            for (int i = 0; i < 40; ++i) {
+                rows[0] = rng.uniform(16);
+                rows[1] = rng.uniform(16);
+                co_await ps->push(ctx, rows, grads);
+            }
+            ++done;
+        });
+    }
+    tb->sim().runUntil(sim::sec(2));
+    EXPECT_EQ(done, 8);
+    std::int64_t total = 0;
+    for (std::uint64_t r = 0; r < 16; ++r)
+        for (std::uint32_t d = 0; d < 4; ++d)
+            total += ps->hostValue(r, d);
+    EXPECT_EQ(total, 8 * 40 * 2 * 4); // every FAA landed exactly once
+}
+
+TEST_F(PsFixture, NegativeGradientsSubtract)
+{
+    build(1, 8, 2);
+    bool done = false;
+    tb->compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
+        std::vector<std::uint64_t> rows{1};
+        std::vector<std::int64_t> up{10, 10};
+        co_await ps->push(ctx, rows, up);
+        std::vector<std::int64_t> down{-4, -6};
+        co_await ps->push(ctx, rows, down);
+        done = true;
+    });
+    tb->sim().runUntil(sim::msec(50));
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ps->hostValue(1, 0), 6);
+    EXPECT_EQ(ps->hostValue(1, 1), 4);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_qp_alloc.dir/fig03_qp_alloc.cpp.o"
+  "CMakeFiles/fig03_qp_alloc.dir/fig03_qp_alloc.cpp.o.d"
+  "fig03_qp_alloc"
+  "fig03_qp_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_qp_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cache_thrash.dir/fig04_cache_thrash.cpp.o"
+  "CMakeFiles/fig04_cache_thrash.dir/fig04_cache_thrash.cpp.o.d"
+  "fig04_cache_thrash"
+  "fig04_cache_thrash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cache_thrash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

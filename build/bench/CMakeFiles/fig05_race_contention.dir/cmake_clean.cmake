@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_race_contention.dir/fig05_race_contention.cpp.o"
+  "CMakeFiles/fig05_race_contention.dir/fig05_race_contention.cpp.o.d"
+  "fig05_race_contention"
+  "fig05_race_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_race_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

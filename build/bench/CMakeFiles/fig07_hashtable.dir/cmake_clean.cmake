@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_hashtable.dir/fig07_hashtable.cpp.o"
+  "CMakeFiles/fig07_hashtable.dir/fig07_hashtable.cpp.o.d"
+  "fig07_hashtable"
+  "fig07_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

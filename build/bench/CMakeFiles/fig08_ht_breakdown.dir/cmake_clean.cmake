@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ht_breakdown.dir/fig08_ht_breakdown.cpp.o"
+  "CMakeFiles/fig08_ht_breakdown.dir/fig08_ht_breakdown.cpp.o.d"
+  "fig08_ht_breakdown"
+  "fig08_ht_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ht_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dtx.dir/fig10_dtx.cpp.o"
+  "CMakeFiles/fig10_dtx.dir/fig10_dtx.cpp.o.d"
+  "fig10_dtx"
+  "fig10_dtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_conflict.dir/fig14_conflict.cpp.o"
+  "CMakeFiles/fig14_conflict.dir/fig14_conflict.cpp.o.d"
+  "fig14_conflict"
+  "fig14_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dynamic.dir/table1_dynamic.cpp.o"
+  "CMakeFiles/table1_dynamic.dir/table1_dynamic.cpp.o.d"
+  "table1_dynamic"
+  "table1_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

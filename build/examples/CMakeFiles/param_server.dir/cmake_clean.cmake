@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_server.dir/param_server.cpp.o"
+  "CMakeFiles/param_server.dir/param_server.cpp.o.d"
+  "param_server"
+  "param_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

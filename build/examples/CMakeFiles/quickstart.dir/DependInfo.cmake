@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/smart_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/race/CMakeFiles/smart_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/sherman/CMakeFiles/smart_sherman.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/ford/CMakeFiles/smart_ford.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/smart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/smart_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/smart_rnic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

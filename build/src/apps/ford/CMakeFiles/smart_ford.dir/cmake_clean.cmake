@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_ford.dir/dtx.cpp.o"
+  "CMakeFiles/smart_ford.dir/dtx.cpp.o.d"
+  "libsmart_ford.a"
+  "libsmart_ford.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_ford.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_race.dir/race.cpp.o"
+  "CMakeFiles/smart_race.dir/race.cpp.o.d"
+  "libsmart_race.a"
+  "libsmart_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_sherman.dir/btree.cpp.o"
+  "CMakeFiles/smart_sherman.dir/btree.cpp.o.d"
+  "libsmart_sherman.a"
+  "libsmart_sherman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_sherman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

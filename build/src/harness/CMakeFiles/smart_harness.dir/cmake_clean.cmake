@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_harness.dir/bt_bench.cpp.o"
+  "CMakeFiles/smart_harness.dir/bt_bench.cpp.o.d"
+  "CMakeFiles/smart_harness.dir/dtx_bench.cpp.o"
+  "CMakeFiles/smart_harness.dir/dtx_bench.cpp.o.d"
+  "CMakeFiles/smart_harness.dir/ht_bench.cpp.o"
+  "CMakeFiles/smart_harness.dir/ht_bench.cpp.o.d"
+  "CMakeFiles/smart_harness.dir/rdma_bench.cpp.o"
+  "CMakeFiles/smart_harness.dir/rdma_bench.cpp.o.d"
+  "libsmart_harness.a"
+  "libsmart_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_rnic.dir/rnic.cpp.o"
+  "CMakeFiles/smart_rnic.dir/rnic.cpp.o.d"
+  "libsmart_rnic.a"
+  "libsmart_rnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_rnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_core.dir/smart_ctx.cpp.o"
+  "CMakeFiles/smart_core.dir/smart_ctx.cpp.o.d"
+  "CMakeFiles/smart_core.dir/smart_runtime.cpp.o"
+  "CMakeFiles/smart_core.dir/smart_runtime.cpp.o.d"
+  "libsmart_core.a"
+  "libsmart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

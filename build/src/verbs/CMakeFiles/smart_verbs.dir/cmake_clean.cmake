@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_verbs.dir/verbs.cpp.o"
+  "CMakeFiles/smart_verbs.dir/verbs.cpp.o.d"
+  "libsmart_verbs.a"
+  "libsmart_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtx.dir/test_dtx.cpp.o"
+  "CMakeFiles/test_dtx.dir/test_dtx.cpp.o.d"
+  "test_dtx"
+  "test_dtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_indexes.dir/test_fuzz_indexes.cpp.o"
+  "CMakeFiles/test_fuzz_indexes.dir/test_fuzz_indexes.cpp.o.d"
+  "test_fuzz_indexes"
+  "test_fuzz_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rnic_model.dir/test_rnic_model.cpp.o"
+  "CMakeFiles/test_rnic_model.dir/test_rnic_model.cpp.o.d"
+  "test_rnic_model"
+  "test_rnic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rnic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_sim_kernel "/root/repo/build/tests/test_sim_kernel")
+set_tests_properties(test_sim_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rnic_model "/root/repo/build/tests/test_rnic_model")
+set_tests_properties(test_rnic_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_verbs "/root/repo/build/tests/test_verbs")
+set_tests_properties(test_verbs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_smart_core "/root/repo/build/tests/test_smart_core")
+set_tests_properties(test_smart_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_race "/root/repo/build/tests/test_race")
+set_tests_properties(test_race PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_btree "/root/repo/build/tests/test_btree")
+set_tests_properties(test_btree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dtx "/root/repo/build/tests/test_dtx")
+set_tests_properties(test_dtx PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_recovery "/root/repo/build/tests/test_recovery")
+set_tests_properties(test_recovery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;smart_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fuzz_indexes "/root/repo/build/tests/test_fuzz_indexes")
+set_tests_properties(test_fuzz_indexes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;21;smart_test;/root/repo/tests/CMakeLists.txt;0;")

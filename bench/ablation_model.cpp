@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/rdma_bench.hpp"
 #include "sim/table.hpp"
 
@@ -25,20 +26,19 @@ using namespace smart::harness;
 namespace {
 
 double
-run(const rnic::RnicConfig &hw, QpPolicy policy, std::uint32_t depth)
+run(const rnic::RnicConfig &hw, QpPolicy policy, std::uint32_t depth,
+    RunCapture *cap = nullptr)
 {
     TestbedConfig cfg;
     cfg.hw = hw;
     cfg.computeBlades = 1;
     cfg.memoryBlades = 1;
     cfg.threadsPerBlade = 96;
-    cfg.smart = presets::baseline();
-    cfg.smart.qpPolicy = policy;
-    cfg.smart.corosPerThread = 1;
+    cfg.smart = presets::baseline().withQpPolicy(policy).withCoros(1);
     RdmaBenchParams p;
     p.depth = depth;
     p.measureNs = sim::msec(2);
-    return runRdmaBench(cfg, p).mops;
+    return runRdmaBench(cfg, p, cap).mops;
 }
 
 } // namespace
@@ -46,7 +46,8 @@ run(const rnic::RnicConfig &hw, QpPolicy policy, std::uint32_t depth)
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "ablation_model");
+    bool quick = cli.quick();
 
     std::cout << "== Ablation (a): doorbell bounce cost vs per-thread-QP "
                  "collapse (96 threads, depth 8) ==\n";
@@ -58,7 +59,11 @@ main(int argc, char **argv)
     for (std::uint64_t b : bounces) {
         rnic::RnicConfig hw;
         hw.lockBouncePerWaiterNs = b;
-        double qp = run(hw, QpPolicy::PerThreadQp, 8);
+        bool last = b == bounces.back();
+        double qp = run(hw, QpPolicy::PerThreadQp, 8,
+                        last ? cli.nextCapture("per-thread-qp/bounce" +
+                                               std::to_string(b))
+                             : nullptr);
         double db = run(hw, QpPolicy::PerThreadDb, 8);
         a.row()
             .cell(b)
@@ -66,8 +71,7 @@ main(int argc, char **argv)
             .cell(db, 1)
             .cell(db > 0 ? qp / db : 0.0, 2);
     }
-    a.print();
-    a.writeCsv("ablation_bounce.csv");
+    cli.addTable("ablation_bounce", a);
 
     std::cout << "\n== Ablation (b): WQE cache capacity vs deep-OWR "
                  "collapse (96 threads, depth 32) ==\n";
@@ -87,12 +91,11 @@ main(int argc, char **argv)
             .cell(deep, 1)
             .cell(shallow > 0 ? deep / shallow : 0.0, 2);
     }
-    t.print();
-    t.writeCsv("ablation_wqe.csv");
+    cli.addTable("ablation_wqe", t);
 
-    std::cout << "\nTakeaway: the per-thread-QP collapse and deep-OWR "
-                 "collapse persist across wide constant ranges, and the "
-                 "SMART configurations stay at the hardware limit "
-                 "throughout; only the collapse magnitude moves.\n";
-    return 0;
+    cli.note("\nTakeaway: the per-thread-QP collapse and deep-OWR "
+             "collapse persist across wide constant ranges, and the "
+             "SMART configurations stay at the hardware limit "
+             "throughout; only the collapse magnitude moves.");
+    return cli.finish();
 }

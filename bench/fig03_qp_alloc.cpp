@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/rdma_bench.hpp"
 #include "sim/table.hpp"
 
@@ -20,15 +21,16 @@ using namespace smart::harness;
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "fig03_qp_alloc");
 
     std::vector<std::uint32_t> threads =
-        quick ? std::vector<std::uint32_t>{8, 32, 96}
-              : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 24, 32,
-                                           48, 64, 80, 96};
+        cli.quick() ? std::vector<std::uint32_t>{8, 32, 96}
+                    : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 24, 32,
+                                                 48, 64, 80, 96};
     const std::vector<QpPolicy> policies = {
         QpPolicy::SharedQp, QpPolicy::MultiplexedQp, QpPolicy::PerThreadQp,
         QpPolicy::PerThreadDb};
+    std::uint32_t max_threads = threads.back();
 
     for (rnic::Op op : {rnic::Op::Read, rnic::Op::Write}) {
         const char *op_name = op == rnic::Op::Read ? "READ" : "WRITE";
@@ -43,29 +45,37 @@ main(int argc, char **argv)
                 cfg.computeBlades = 1;
                 cfg.memoryBlades = 1;
                 cfg.threadsPerBlade = t;
-                cfg.smart = presets::baseline(); // §3: no SMART features
-                cfg.smart.qpPolicy = policy;
-                cfg.smart.corosPerThread = 1;
+                cfg.smart = presets::baseline() // §3: no SMART features
+                                .withQpPolicy(policy)
+                                .withCoros(1);
 
                 RdmaBenchParams params;
                 params.op = op;
                 params.blockSize = 8;
                 params.depth = 8;
-                if (quick)
+                if (cli.quick())
                     params.measureNs = sim::msec(2);
 
-                RdmaBenchResult r = runRdmaBench(cfg, params);
+                // One capture per policy (at the max thread count) keeps
+                // the report small while covering every configuration.
+                RunCapture *cap =
+                    t == max_threads
+                        ? cli.nextCapture(std::string(op_name) + "/" +
+                                          qpPolicyName(policy) + "/t" +
+                                          std::to_string(t))
+                        : nullptr;
+                RdmaBenchResult r = runRdmaBench(cfg, params, cap);
                 table.cell(r.mops, 1);
             }
         }
-        table.print();
-        table.writeCsv(std::string("fig03_") +
-                       (op == rnic::Op::Read ? "read" : "write") + ".csv");
+        cli.addTable(std::string("fig03_") +
+                         (op == rnic::Op::Read ? "read" : "write"),
+                     table);
         std::cout << "\n";
     }
-    std::cout << "Paper shape: per-thread QP/DB dominate below 32 threads "
-                 "(2.4x-130x over multiplexing); per-thread QP collapses "
-                 "beyond 32 threads (halved by 96); per-thread doorbell "
-                 "sustains ~110 MOP/s for READs.\n";
-    return 0;
+    cli.note("Paper shape: per-thread QP/DB dominate below 32 threads "
+             "(2.4x-130x over multiplexing); per-thread QP collapses "
+             "beyond 32 threads (halved by 96); per-thread doorbell "
+             "sustains ~110 MOP/s for READs.");
+    return cli.finish();
 }

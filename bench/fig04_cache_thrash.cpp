@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/rdma_bench.hpp"
 #include "sim/table.hpp"
 
@@ -19,14 +20,16 @@ using namespace smart::harness;
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "fig04_cache_thrash");
 
     std::vector<std::uint32_t> threads =
-        quick ? std::vector<std::uint32_t>{36, 96}
-              : std::vector<std::uint32_t>{8, 16, 36, 64, 96};
+        cli.quick() ? std::vector<std::uint32_t>{36, 96}
+                    : std::vector<std::uint32_t>{8, 16, 36, 64, 96};
     std::vector<std::uint32_t> depths =
-        quick ? std::vector<std::uint32_t>{8, 32}
-              : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32};
+        cli.quick() ? std::vector<std::uint32_t>{8, 32}
+                    : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32};
+    std::uint32_t max_threads = threads.back();
+    std::uint32_t max_depth = depths.back();
 
     for (rnic::Op op : {rnic::Op::Read, rnic::Op::Write}) {
         const char *op_name = op == rnic::Op::Read ? "READ" : "WRITE";
@@ -51,31 +54,40 @@ main(int argc, char **argv)
                 cfg.computeBlades = 1;
                 cfg.memoryBlades = 1;
                 cfg.threadsPerBlade = t;
-                cfg.smart = presets::baseline();
-                cfg.smart.qpPolicy = QpPolicy::PerThreadDb;
-                cfg.smart.corosPerThread = 1;
+                cfg.smart = presets::baseline()
+                                .withQpPolicy(QpPolicy::PerThreadDb)
+                                .withCoros(1);
 
                 RdmaBenchParams params;
                 params.op = op;
                 params.depth = d;
-                params.measureNs = quick ? sim::msec(2) : sim::msec(4);
-                RdmaBenchResult r = runRdmaBench(cfg, params);
+                params.measureNs =
+                    cli.quick() ? sim::msec(2) : sim::msec(4);
+                // Capture the deepest corner — where WQE-cache thrash
+                // (per-thread wqe_refetches) is actually visible.
+                RunCapture *cap =
+                    t == max_threads && d == max_depth
+                        ? cli.nextCapture(std::string(op_name) + "/t" +
+                                          std::to_string(t) + "/owr" +
+                                          std::to_string(d))
+                        : nullptr;
+                RdmaBenchResult r = runRdmaBench(cfg, params, cap);
                 tput.cell(r.mops, 1);
                 dram.cell(r.dramBytesPerWr, 0);
             }
         }
-        tput.print();
-        tput.writeCsv(std::string("fig04a_") +
-                      (op == rnic::Op::Read ? "read" : "write") + ".csv");
+        cli.addTable(std::string("fig04a_") +
+                         (op == rnic::Op::Read ? "read" : "write"),
+                     tput);
         std::cout << "\n== Figure 4b: DRAM bytes per WR (" << op_name
                   << ", lower is better) ==\n";
-        dram.print();
-        dram.writeCsv(std::string("fig04b_") +
-                      (op == rnic::Op::Read ? "read" : "write") + ".csv");
+        cli.addTable(std::string("fig04b_") +
+                         (op == rnic::Op::Read ? "read" : "write"),
+                     dram);
         std::cout << "\n";
     }
-    std::cout << "Paper shape: best READ IOPS at 96 thr x 8 OWRs (~768 "
-                 "total); 96 thr x 32 OWRs halves throughput and raises "
-                 "DRAM traffic from ~93 to ~180 B/WR (WQE cache misses).\n";
-    return 0;
+    cli.note("Paper shape: best READ IOPS at 96 thr x 8 OWRs (~768 "
+             "total); 96 thr x 32 OWRs halves throughput and raises "
+             "DRAM traffic from ~93 to ~180 B/WR (WQE cache misses).");
+    return cli.finish();
 }

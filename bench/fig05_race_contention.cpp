@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/ht_bench.hpp"
 #include "sim/table.hpp"
 
@@ -19,15 +20,16 @@ using namespace smart::harness;
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-    std::uint64_t keys = quick ? 200'000 : 1'000'000;
+    BenchCli cli(argc, argv, "fig05_race_contention");
+    std::uint64_t keys = cli.quick() ? 200'000 : 1'000'000;
 
     std::cout << "== Figure 5a: RACE updates vs threads "
                  "(theta=0.99, depth=8) ==\n";
     sim::Table a({"threads", "MOPS", "p50_us", "p99_us", "avg_retries"});
     std::vector<std::uint32_t> threads =
-        quick ? std::vector<std::uint32_t>{8, 32, 96}
-              : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32, 64, 96};
+        cli.quick() ? std::vector<std::uint32_t>{8, 32, 96}
+                    : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32, 64,
+                                                 96};
     for (std::uint32_t t : threads) {
         TestbedConfig cfg;
         cfg.computeBlades = 1;
@@ -39,8 +41,12 @@ main(int argc, char **argv)
         HtBenchParams p;
         p.numKeys = keys;
         p.mix = workload::YcsbMix::updateOnly();
-        p.measureNs = quick ? sim::msec(2) : sim::msec(4);
-        HtBenchResult r = runHtBench(cfg, p);
+        p.measureNs = cli.quick() ? sim::msec(2) : sim::msec(4);
+        RunCapture *cap =
+            t == threads.back()
+                ? cli.nextCapture("update-only/t" + std::to_string(t))
+                : nullptr;
+        HtBenchResult r = runHtBench(cfg, p, cap);
         a.row()
             .cell(static_cast<std::uint64_t>(t))
             .cell(r.mops, 2)
@@ -48,15 +54,14 @@ main(int argc, char **argv)
             .cell(r.p99Ns / 1000.0, 1)
             .cell(r.avgRetries, 2);
     }
-    a.print();
-    a.writeCsv("fig05a.csv");
+    cli.addTable("fig05a", a);
 
     std::cout << "\n== Figure 5b: RACE updates vs Zipfian theta "
                  "(16 threads) ==\n";
     sim::Table b({"theta", "MOPS", "p50_us", "p99_us", "avg_retries"});
     std::vector<double> thetas =
-        quick ? std::vector<double>{0.0, 0.99}
-              : std::vector<double>{0.0, 0.5, 0.8, 0.9, 0.95, 0.99};
+        cli.quick() ? std::vector<double>{0.0, 0.99}
+                    : std::vector<double>{0.0, 0.5, 0.8, 0.9, 0.95, 0.99};
     for (double theta : thetas) {
         TestbedConfig cfg;
         cfg.computeBlades = 1;
@@ -69,7 +74,7 @@ main(int argc, char **argv)
         p.numKeys = keys;
         p.zipfTheta = theta;
         p.mix = workload::YcsbMix::updateOnly();
-        p.measureNs = quick ? sim::msec(2) : sim::msec(4);
+        p.measureNs = cli.quick() ? sim::msec(2) : sim::msec(4);
         HtBenchResult r = runHtBench(cfg, p);
         b.row()
             .cell(theta, 2)
@@ -78,11 +83,10 @@ main(int argc, char **argv)
             .cell(r.p99Ns / 1000.0, 1)
             .cell(r.avgRetries, 2);
     }
-    b.print();
-    b.writeCsv("fig05b.csv");
+    cli.addTable("fig05b", b);
 
-    std::cout << "\nPaper shape: RACE peaks around 8 threads, then "
-                 "throughput falls and p99 inflates (up to ~17x); rising "
-                 "skew inflates median ~2x and p99 ~78x.\n";
-    return 0;
+    cli.note("\nPaper shape: RACE peaks around 8 threads, then "
+             "throughput falls and p99 inflates (up to ~17x); rising "
+             "skew inflates median ~2x and p99 ~78x.");
+    return cli.finish();
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/ht_bench.hpp"
 #include "sim/table.hpp"
 
@@ -19,7 +20,8 @@ namespace {
 
 HtBenchResult
 run(std::uint32_t compute_blades, std::uint32_t threads, bool smart_on,
-    const workload::YcsbMix &mix, std::uint64_t keys, bool quick)
+    const workload::YcsbMix &mix, std::uint64_t keys, bool quick,
+    RunCapture *cap = nullptr)
 {
     TestbedConfig cfg;
     cfg.computeBlades = compute_blades;
@@ -27,14 +29,14 @@ run(std::uint32_t compute_blades, std::uint32_t threads, bool smart_on,
     cfg.threadsPerBlade = threads;
     cfg.bladeBytes = 3ull << 30;
     cfg.smart = smart_on ? presets::full() : presets::baseline();
-    applyBenchTimescale(cfg.smart);
+    cfg.smart.withBenchTimescale();
 
     HtBenchParams p;
     p.numKeys = keys;
     p.mix = mix;
     p.warmupNs = sim::msec(8); // covers one full C_max update phase
     p.measureNs = quick ? sim::msec(2) : sim::msec(4);
-    return runHtBench(cfg, p);
+    return runHtBench(cfg, p, cap);
 }
 
 } // namespace
@@ -42,7 +44,8 @@ run(std::uint32_t compute_blades, std::uint32_t threads, bool smart_on,
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "fig07_hashtable");
+    bool quick = cli.quick();
     std::uint64_t keys = quick ? 200'000 : 1'000'000;
 
     const std::vector<workload::YcsbMix> mixes = {
@@ -58,15 +61,22 @@ main(int argc, char **argv)
                   << "): MOP/s, 1 compute blade ==\n";
         sim::Table t({"threads", "RACE", "SMART-HT"});
         for (std::uint32_t thr : threads) {
-            HtBenchResult base = run(1, thr, false, mix, keys, quick);
-            HtBenchResult sm = run(1, thr, true, mix, keys, quick);
+            bool last = thr == threads.back();
+            HtBenchResult base = run(
+                1, thr, false, mix, keys, quick,
+                last ? cli.nextCapture(std::string("RACE/") + mix.name())
+                     : nullptr);
+            HtBenchResult sm =
+                run(1, thr, true, mix, keys, quick,
+                    last ? cli.nextCapture(std::string("SMART-HT/") +
+                                           mix.name())
+                         : nullptr);
             t.row()
                 .cell(static_cast<std::uint64_t>(thr))
                 .cell(base.mops, 2)
                 .cell(sm.mops, 2);
         }
-        t.print();
-        t.writeCsv(std::string("fig07_scaleup_") + mix.name() + ".csv");
+        cli.addTable(std::string("fig07_scaleup_") + mix.name(), t);
         std::cout << "\n";
     }
 
@@ -86,14 +96,13 @@ main(int argc, char **argv)
                 .cell(base.mops, 2)
                 .cell(sm.mops, 2);
         }
-        t.print();
-        t.writeCsv(std::string("fig07_scaleout_") + mix.name() + ".csv");
+        cli.addTable(std::string("fig07_scaleout_") + mix.name(), t);
         std::cout << "\n";
     }
 
-    std::cout << "Paper shape: write-heavy RACE peaks ~2.8 MOP/s at 8 "
-                 "threads vs SMART-HT ~5.7 at 48; read-only RACE <11.4 vs "
-                 "SMART-HT ~23.7; scale-out gaps up to 132x (write-heavy) "
-                 "and 2-3.8x (read-only).\n";
-    return 0;
+    cli.note("Paper shape: write-heavy RACE peaks ~2.8 MOP/s at 8 "
+             "threads vs SMART-HT ~5.7 at 48; read-only RACE <11.4 vs "
+             "SMART-HT ~23.7; scale-out gaps up to 132x (write-heavy) "
+             "and 2-3.8x (read-only).");
+    return cli.finish();
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/ht_bench.hpp"
 #include "sim/table.hpp"
 
@@ -20,7 +21,8 @@ using namespace smart::harness;
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "fig08_ht_breakdown");
+    bool quick = cli.quick();
     std::uint64_t keys = quick ? 200'000 : 1'000'000;
 
     struct Step
@@ -56,23 +58,27 @@ main(int argc, char **argv)
                 cfg.threadsPerBlade = thr;
                 cfg.bladeBytes = 3ull << 30;
                 cfg.smart = s.cfg;
-                applyBenchTimescale(cfg.smart);
+                cfg.smart.withBenchTimescale();
 
                 HtBenchParams p;
                 p.numKeys = keys;
                 p.mix = mix;
                 p.warmupNs = sim::msec(8);
                 p.measureNs = quick ? sim::msec(2) : sim::msec(4);
-                HtBenchResult r = runHtBench(cfg, p);
+                RunCapture *cap =
+                    thr == threads.back()
+                        ? cli.nextCapture(std::string(s.name) + "/" +
+                                          mix.name())
+                        : nullptr;
+                HtBenchResult r = runHtBench(cfg, p, cap);
                 t.cell(r.mops, 2);
             }
         }
-        t.print();
-        t.writeCsv(std::string("fig08_") + mix.name() + ".csv");
+        cli.addTable(std::string("fig08_") + mix.name(), t);
         std::cout << "\n";
     }
-    std::cout << "Paper shape: ThdResAlloc dominates read-heavy gains; "
-                 "WorkReqThrot helps write-heavy at 8-32 threads; "
-                 "ConflictAvoid dominates write-heavy at high threads.\n";
-    return 0;
+    cli.note("Paper shape: ThdResAlloc dominates read-heavy gains; "
+             "WorkReqThrot helps write-heavy at 8-32 threads; "
+             "ConflictAvoid dominates write-heavy at high threads.");
+    return cli.finish();
 }

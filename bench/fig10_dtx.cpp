@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/dtx_bench.hpp"
 #include "sim/table.hpp"
 
@@ -17,12 +18,12 @@ using namespace smart::harness;
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "fig10_dtx");
 
     std::vector<std::uint32_t> threads =
-        quick ? std::vector<std::uint32_t>{24, 96}
-              : std::vector<std::uint32_t>{8, 16, 24, 32, 40, 48, 56, 64,
-                                           72, 80, 96};
+        cli.quick() ? std::vector<std::uint32_t>{24, 96}
+                    : std::vector<std::uint32_t>{8, 16, 24, 32, 40, 48,
+                                                 56, 64, 72, 80, 96};
 
     for (DtxWorkload w : {DtxWorkload::SmallBank, DtxWorkload::Tatp}) {
         std::cout << "== Figure 10 (" << dtxWorkloadName(w)
@@ -30,15 +31,22 @@ main(int argc, char **argv)
         sim::Table t({"threads", "FORD+", "SMART-DTX", "FORD+_aborts/txn",
                       "SMART_aborts/txn"});
         for (std::uint32_t thr : threads) {
+            bool last = thr == threads.back();
             DtxBenchParams p;
             p.workload = w;
             p.threads = thr;
-            p.numAccounts = quick ? 20'000 : 100'000;
-            p.measureNs = quick ? sim::msec(2) : sim::msec(4);
+            p.numAccounts = cli.quick() ? 20'000 : 100'000;
+            p.measureNs = cli.quick() ? sim::msec(2) : sim::msec(4);
             p.smartOn = false;
-            DtxBenchResult base = runDtxBench(p);
+            DtxBenchResult base = runDtxBench(
+                p, last ? cli.nextCapture(std::string("FORD+/") +
+                                          dtxWorkloadName(w))
+                        : nullptr);
             p.smartOn = true;
-            DtxBenchResult sm = runDtxBench(p);
+            DtxBenchResult sm = runDtxBench(
+                p, last ? cli.nextCapture(std::string("SMART-DTX/") +
+                                          dtxWorkloadName(w))
+                        : nullptr);
             t.row()
                 .cell(static_cast<std::uint64_t>(thr))
                 .cell(base.mtps, 2)
@@ -46,13 +54,12 @@ main(int argc, char **argv)
                 .cell(base.abortRate, 2)
                 .cell(sm.abortRate, 2);
         }
-        t.print();
-        t.writeCsv(std::string("fig10_") + dtxWorkloadName(w) + ".csv");
+        cli.addTable(std::string("fig10_") + dtxWorkloadName(w), t);
         std::cout << "\n";
     }
-    std::cout << "Paper shape: FORD+ peaks at 24 (SmallBank) / 32 (TATP) "
-                 "threads then degrades from doorbell contention; "
-                 "SMART-DTX keeps scaling (up to 5.2x on SmallBank, 2.6x "
-                 "on TATP at 96 threads).\n";
-    return 0;
+    cli.note("Paper shape: FORD+ peaks at 24 (SmallBank) / 32 (TATP) "
+             "threads then degrades from doorbell contention; "
+             "SMART-DTX keeps scaling (up to 5.2x on SmallBank, 2.6x "
+             "on TATP at 96 threads).");
+    return cli.finish();
 }

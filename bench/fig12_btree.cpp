@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/bt_bench.hpp"
 #include "sim/table.hpp"
 
@@ -19,7 +20,8 @@ using namespace smart::harness;
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "fig12_btree");
+    bool quick = cli.quick();
     std::uint64_t keys = quick ? 300'000 : 1'000'000;
 
     const std::vector<workload::YcsbMix> mixes = {
@@ -47,11 +49,15 @@ main(int argc, char **argv)
                 p.threadsPerServer = thr;
                 p.mix = mix;
                 p.measureNs = quick ? sim::msec(2) : sim::msec(4);
-                t.cell(runBtBench(p).mops, 2);
+                RunCapture *cap =
+                    thr == threads.back()
+                        ? cli.nextCapture(std::string(btVariantName(v)) +
+                                          "/" + mix.name())
+                        : nullptr;
+                t.cell(runBtBench(p, cap).mops, 2);
             }
         }
-        t.print();
-        t.writeCsv(std::string("fig12_scaleup_") + mix.name() + ".csv");
+        cli.addTable(std::string("fig12_scaleup_") + mix.name(), t);
         std::cout << "\n";
     }
 
@@ -76,15 +82,14 @@ main(int argc, char **argv)
                 t.cell(runBtBench(p).mops, 2);
             }
         }
-        t.print();
-        t.writeCsv(std::string("fig12_scaleout_") + mix.name() + ".csv");
+        cli.addTable(std::string("fig12_scaleout_") + mix.name(), t);
         std::cout << "\n";
     }
 
-    std::cout << "Paper shape: speculative lookup converts the workload "
-                 "from bandwidth- to IOPS-bound (up to 1.6x on "
-                 "read-heavy), but alone stops scaling beyond ~64 "
-                 "threads; SMART-BT adds thread-aware allocation and "
-                 "reaches ~2x Sherman+ on read-only.\n";
-    return 0;
+    cli.note("Paper shape: speculative lookup converts the workload "
+             "from bandwidth- to IOPS-bound (up to 1.6x on "
+             "read-heavy), but alone stops scaling beyond ~64 "
+             "threads; SMART-BT adds thread-aware allocation and "
+             "reaches ~2x Sherman+ on read-only.");
+    return cli.finish();
 }

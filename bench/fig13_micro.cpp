@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/rdma_bench.hpp"
 #include "sim/table.hpp"
 
@@ -28,11 +29,10 @@ std::vector<Policy>
 policies()
 {
     SmartConfig per_thread_qp = presets::baseline();
-    SmartConfig per_thread_ctx = presets::baseline();
-    per_thread_ctx.qpPolicy = QpPolicy::PerThreadContext;
+    SmartConfig per_thread_ctx =
+        presets::baseline().withQpPolicy(QpPolicy::PerThreadContext);
     SmartConfig thd_res = presets::thdResAlloc();
-    SmartConfig throt = presets::workReqThrot();
-    applyBenchTimescale(throt);
+    SmartConfig throt = presets::workReqThrot().withBenchTimescale();
     return {
         {"per-thread-qp", per_thread_qp},
         {"per-thread-ctx", per_thread_ctx},
@@ -43,7 +43,7 @@ policies()
 
 double
 run(const SmartConfig &smart, std::uint32_t threads, std::uint32_t batch,
-    bool quick)
+    bool quick, RunCapture *cap = nullptr)
 {
     TestbedConfig cfg;
     cfg.computeBlades = 1;
@@ -56,7 +56,7 @@ run(const SmartConfig &smart, std::uint32_t threads, std::uint32_t batch,
     params.depth = batch;
     params.warmupNs = smart.workReqThrottle ? sim::msec(8) : sim::msec(1);
     params.measureNs = quick ? sim::msec(2) : sim::msec(4);
-    return runRdmaBench(cfg, params).mops;
+    return runRdmaBench(cfg, params, cap).mops;
 }
 
 } // namespace
@@ -64,7 +64,8 @@ run(const SmartConfig &smart, std::uint32_t threads, std::uint32_t batch,
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "fig13_micro");
+    bool quick = cli.quick();
     std::vector<Policy> pols = policies();
 
     std::cout << "== Figure 13a: 8-byte READ MOP/s vs threads "
@@ -77,11 +78,16 @@ main(int argc, char **argv)
                                            96};
     for (std::uint32_t t : threads) {
         a.row().cell(static_cast<std::uint64_t>(t));
-        for (const Policy &p : pols)
-            a.cell(run(p.cfg, t, 16, quick), 1);
+        for (const Policy &p : pols) {
+            RunCapture *cap =
+                t == threads.back()
+                    ? cli.nextCapture(std::string(p.name) + "/t" +
+                                      std::to_string(t))
+                    : nullptr;
+            a.cell(run(p.cfg, t, 16, quick, cap), 1);
+        }
     }
-    a.print();
-    a.writeCsv("fig13a.csv");
+    cli.addTable("fig13a", a);
 
     std::cout << "\n== Figure 13b: 8-byte READ MOP/s vs batch size "
                  "(96 threads) ==\n";
@@ -95,12 +101,11 @@ main(int argc, char **argv)
         for (const Policy &p : pols)
             b.cell(run(p.cfg, 96, bs, quick), 1);
     }
-    b.print();
-    b.writeCsv("fig13b.csv");
+    cli.addTable("fig13b", b);
 
-    std::cout << "\nPaper shape: +ThdResAlloc reaches the 110 MOP/s "
-                 "hardware limit (up to 4.3x over per-thread QP, ~1.9x "
-                 "over per-thread context); +WorkReqThrot stays at the "
-                 "limit for 56+ threads and for batch sizes > 8.\n";
-    return 0;
+    cli.note("\nPaper shape: +ThdResAlloc reaches the 110 MOP/s "
+             "hardware limit (up to 4.3x over per-thread QP, ~1.9x "
+             "over per-thread context); +WorkReqThrot stays at the "
+             "limit for 56+ threads and for batch sizes > 8.");
+    return cli.finish();
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/ht_bench.hpp"
 #include "sim/table.hpp"
 
@@ -29,9 +30,9 @@ variants()
 {
     SmartConfig none = presets::workReqThrot(); // ThdRes + Throttle only
     SmartConfig backoff = none;
-    backoff.backoff = true;
+    backoff.withBackoff(true, false);
     SmartConfig dynlim = backoff;
-    dynlim.dynBackoffLimit = true;
+    dynlim.withBackoff(true, true);
     SmartConfig full = presets::full();
     return {{"none", none},
             {"+Backoff", backoff},
@@ -41,7 +42,7 @@ variants()
 
 HtBenchResult
 run(const SmartConfig &smart, std::uint32_t threads, std::uint64_t keys,
-    bool quick)
+    bool quick, RunCapture *cap)
 {
     TestbedConfig cfg;
     cfg.computeBlades = 1;
@@ -49,14 +50,14 @@ run(const SmartConfig &smart, std::uint32_t threads, std::uint64_t keys,
     cfg.threadsPerBlade = threads;
     cfg.bladeBytes = 3ull << 30;
     cfg.smart = smart;
-    applyBenchTimescale(cfg.smart);
+    cfg.smart.withBenchTimescale();
 
     HtBenchParams p;
     p.numKeys = keys;
     p.mix = workload::YcsbMix::updateOnly();
     p.warmupNs = sim::msec(8);
     p.measureNs = quick ? sim::msec(2) : sim::msec(4);
-    return runHtBench(cfg, p);
+    return runHtBench(cfg, p, cap);
 }
 
 } // namespace
@@ -64,14 +65,14 @@ run(const SmartConfig &smart, std::uint32_t threads, std::uint64_t keys,
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "fig14_conflict");
+    bool quick = cli.quick();
     std::uint64_t keys = quick ? 200'000 : 1'000'000;
     std::vector<Variant> vars = variants();
 
     std::cout << "== Figure 14a: update-only MOP/s (theta = 0.99) ==\n";
     sim::Table a({"threads", "none", "+Backoff", "+DynLimit",
                   "+CoroThrot"});
-    std::cout << "== Figure 14b rows interleaved below (avg retries) ==\n";
     sim::Table b({"threads", "none", "+Backoff", "+DynLimit",
                   "+CoroThrot"});
     std::vector<std::uint32_t> threads =
@@ -83,18 +84,22 @@ main(int argc, char **argv)
         a.row().cell(static_cast<std::uint64_t>(t));
         b.row().cell(static_cast<std::uint64_t>(t));
         for (std::size_t v = 0; v < vars.size(); ++v) {
-            HtBenchResult r = run(vars[v].cfg, t, keys, quick);
+            // Capture the 96-thread run of every variant: the traces
+            // show t_max / c_max adaptation kicking in (or not).
+            RunCapture *cap =
+                t == 96 ? cli.nextCapture(std::string(vars[v].name) +
+                                          "/t96")
+                        : nullptr;
+            HtBenchResult r = run(vars[v].cfg, t, keys, quick, cap);
             a.cell(r.mops, 2);
             b.cell(r.avgRetries, 2);
             if (t == 96)
                 at96[v] = r;
         }
     }
-    a.print();
-    a.writeCsv("fig14a.csv");
+    cli.addTable("fig14a", a);
     std::cout << "\n== Figure 14b: average retries per update ==\n";
-    b.print();
-    b.writeCsv("fig14b.csv");
+    cli.addTable("fig14b", b);
 
     std::cout << "\n== Figure 14c: retry-count distribution at 96 threads "
                  "(% of updates) ==\n";
@@ -117,12 +122,11 @@ main(int argc, char **argv)
             c.cell(total ? 100.0 * static_cast<double>(n) / total : 0.0, 1);
         }
     }
-    c.print();
-    c.writeCsv("fig14c.csv");
+    cli.addTable("fig14c", c);
 
-    std::cout << "\nPaper shape: without conflict avoidance ~11.5 retries "
-                 "per update at 96 threads vs ~1.1 with it; 93.3% of "
-                 "SMART updates need no retry; +DynLimit ~1.6x over "
-                 "+Backoff; +CoroThrot up to +67% more.\n";
-    return 0;
+    cli.note("\nPaper shape: without conflict avoidance ~11.5 retries "
+             "per update at 96 threads vs ~1.1 with it; 93.3% of "
+             "SMART updates need no retry; +DynLimit ~1.6x over "
+             "+Backoff; +CoroThrot up to +67% more.");
+    return cli.finish();
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_cli.hpp"
 #include "harness/testbed.hpp"
 #include "sim/random.hpp"
 #include "sim/table.hpp"
@@ -53,9 +54,10 @@ dynWorker(SmartCtx &ctx, const Shared &shared, std::uint32_t batch)
 }
 
 Task
-controller(sim::Simulator &sim, Shared &shared, Time interval)
+controller(sim::Simulator &sim, Shared &shared, Time interval,
+           std::uint64_t seed)
 {
-    sim::Rng rng(42);
+    sim::Rng rng(42 ^ seed);
     for (;;) {
         co_await sim.delay(interval);
         shared.activeThreads =
@@ -64,7 +66,8 @@ controller(sim::Simulator &sim, Shared &shared, Time interval)
 }
 
 double
-run(bool throttle, Time interval, Time window)
+run(bool throttle, Time interval, Time window, std::uint64_t seed,
+    RunCapture *cap = nullptr)
 {
     TestbedConfig cfg;
     cfg.computeBlades = 1;
@@ -73,7 +76,9 @@ run(bool throttle, Time interval, Time window)
     cfg.threadsPerBlade = 96;
     cfg.smart = throttle ? presets::workReqThrot() : presets::thdResAlloc();
     cfg.smart.corosPerThread = 1;
-    applyBenchTimescale(cfg.smart);
+    cfg.smart.withBenchTimescale();
+    if (cap != nullptr)
+        cfg.traceSampleNs = sim::usec(500);
 
     Testbed tb(cfg);
     Shared shared;
@@ -82,7 +87,7 @@ run(bool throttle, Time interval, Time window)
             return dynWorker(ctx, shared, 64);
         });
     }
-    tb.sim().spawn(controller(tb.sim(), shared, interval));
+    tb.sim().spawn(controller(tb.sim(), shared, interval, seed));
 
     Time warmup = sim::msec(8);
     tb.sim().runUntil(warmup);
@@ -90,6 +95,7 @@ run(bool throttle, Time interval, Time window)
     tb.sim().runUntil(warmup + window);
     std::uint64_t wrs =
         tb.compute(0).rnic().perf().wrsCompleted.value() - wrs0;
+    captureRun(tb, cap);
     return static_cast<double>(wrs) /
            (static_cast<double>(window) / 1000.0);
 }
@@ -99,7 +105,8 @@ run(bool throttle, Time interval, Time window)
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    BenchCli cli(argc, argv, "table1_dynamic");
+    bool quick = cli.quick();
 
     std::vector<Time> intervals =
         quick ? std::vector<Time>{sim::msec(4), sim::msec(64)}
@@ -114,18 +121,26 @@ main(int argc, char **argv)
     for (Time iv : intervals) {
         Time window = quick ? sim::msec(12)
                             : std::max<Time>(sim::msec(24), 3 * iv);
-        double off = run(false, iv, window);
-        double on = run(true, iv, window);
+        // Capture the throttled run at the shortest interval — its
+        // trace shows the credit controller re-probing after every
+        // workload change.
+        bool first = iv == intervals.front();
+        double off = run(false, iv, window, cli.seed());
+        double on =
+            run(true, iv, window, cli.seed(),
+                first ? cli.nextCapture(
+                            "throttle/iv" +
+                            std::to_string(iv / 1000000) + "ms")
+                      : nullptr);
         t.row()
             .cell(static_cast<std::uint64_t>(iv / 1000000))
             .cell(off, 1)
             .cell(on, 1);
     }
-    t.print();
-    t.writeCsv("table1.csv");
-    std::cout << "\nPaper shape: with throttling, throughput is near the "
-                 "110 MOP/s limit once the change interval exceeds the "
-                 "epoch, and degrades by at most ~13% below it; without "
-                 "throttling it sits far lower at every interval.\n";
-    return 0;
+    cli.addTable("table1", t);
+    cli.note("\nPaper shape: with throttling, throughput is near the "
+             "110 MOP/s limit once the change interval exceeds the "
+             "epoch, and degrades by at most ~13% below it; without "
+             "throttling it sits far lower at every interval.");
+    return cli.finish();
 }

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a smart-bench-report/v1 JSON file emitted by `--json`.
+
+Usage:
+    check_bench_json.py REPORT.json
+    check_bench_json.py --run BENCH_BINARY [ARGS...]
+
+With --run, executes the bench with --quick --json into a temp directory
+and validates the report it writes. Exits 0 when the report is valid,
+1 with a diagnostic otherwise. Used both as a ctest and for eyeballing
+reports by hand.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCHEMA = "smart-bench-report/v1"
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate(report):
+    check(isinstance(report, dict), "top level must be an object")
+    check(report.get("schema") == SCHEMA,
+          f"schema must be {SCHEMA!r}, got {report.get('schema')!r}")
+    for key, typ in (("bench", str), ("quick", bool), ("seed", int),
+                     ("tables", list), ("runs", list), ("notes", list)):
+        check(key in report, f"missing top-level key {key!r}")
+        check(isinstance(report[key], typ),
+              f"{key!r} must be {typ.__name__}")
+
+    for t in report["tables"]:
+        check(isinstance(t.get("name"), str), "table missing name")
+        header = t.get("header")
+        rows = t.get("rows")
+        check(isinstance(header, list) and header,
+              f"table {t.get('name')}: empty header")
+        for row in rows:
+            check(len(row) == len(header),
+                  f"table {t['name']}: row width {len(row)} != "
+                  f"header width {len(header)}")
+
+    saw_thread_metrics = False
+    saw_ctrl_timeline = False
+    for run in report["runs"]:
+        check(isinstance(run.get("label"), str), "run missing label")
+        check(isinstance(run.get("at_ns"), int), "run missing at_ns")
+        metrics = run.get("metrics")
+        check(isinstance(metrics, list) and metrics,
+              f"run {run['label']}: empty metrics")
+        names = set()
+        for m in metrics:
+            check(isinstance(m.get("name"), str) and
+                  m.get("kind") in ("counter", "gauge", "histogram"),
+                  f"run {run['label']}: malformed metric entry {m!r}")
+            names.add(m["name"])
+            if m["name"].startswith("smart.thread."):
+                check("thread" in m.get("labels", {}),
+                      f"{m['name']} must carry a thread label")
+        if {"smart.thread.doorbell_wait_ns",
+                "smart.thread.wqe_refetches"} <= names:
+            saw_thread_metrics = True
+
+        trace = run.get("trace")
+        if trace is None:
+            continue
+        t_ns = trace.get("t_ns")
+        check(isinstance(t_ns, list),
+              f"run {run['label']}: trace missing t_ns")
+        series = {s["name"]: s for s in trace.get("series", [])}
+        for s in series.values():
+            check(len(s["values"]) == len(t_ns),
+                  f"run {run['label']}: series {s['name']} length "
+                  f"{len(s['values'])} != {len(t_ns)} samples")
+        if ("smart.ctrl.credit_cmax" in series
+                and "smart.ctrl.tmax_cycles" in series
+                and len(t_ns) >= 5):
+            saw_ctrl_timeline = True
+
+    check(saw_thread_metrics,
+          "no run carries per-thread doorbell_wait_ns + wqe_refetches")
+    check(saw_ctrl_timeline,
+          "no run has a C_max + t_max timeline with >= 5 samples")
+    print(f"check_bench_json: OK: {report['bench']} "
+          f"({len(report['tables'])} tables, {len(report['runs'])} runs)")
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--run":
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "report.json"
+            cmd = argv[1:] + ["--quick", "--json", str(out),
+                              "--out-dir", tmp]
+            proc = subprocess.run(cmd)
+            check(proc.returncode == 0,
+                  f"bench exited with {proc.returncode}")
+            check(out.exists(), f"bench did not write {out}")
+            validate(json.loads(out.read_text()))
+    elif len(argv) == 1 and not argv[0].startswith("-"):
+        validate(json.loads(Path(argv[0]).read_text()))
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

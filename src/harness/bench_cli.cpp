@@ -1,0 +1,131 @@
+/**
+ * @file
+ * BenchCli implementation.
+ */
+
+#include "harness/bench_cli.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+namespace smart::harness {
+
+namespace {
+
+[[noreturn]] void
+usage(const std::string &bench, int exit_code)
+{
+    std::ostream &os = exit_code == 0 ? std::cout : std::cerr;
+    os << "usage: " << bench
+       << " [--quick] [--json PATH] [--out-dir DIR] [--seed N] "
+          "[--trace]\n"
+          "  --quick        reduced sweep for CI / smoke runs\n"
+          "  --json PATH    write a smart-bench-report/v1 JSON report\n"
+          "  --out-dir DIR  directory for CSV/JSON outputs (default .)\n"
+          "  --seed N       perturb workload RNG seeds where supported\n"
+          "  --trace        capture controller timelines (implies a "
+          "JSON report)\n";
+    std::exit(exit_code);
+}
+
+} // namespace
+
+BenchCli::BenchCli(int argc, char **argv, std::string bench_name)
+    : benchName_(std::move(bench_name))
+{
+    bool trace = false;
+    auto value = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << benchName_ << ": " << flag
+                      << " needs a value\n";
+            usage(benchName_, 2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick_ = true;
+        } else if (arg == "--json") {
+            jsonPath_ = value(i, "--json");
+        } else if (arg == "--out-dir") {
+            outDir_ = value(i, "--out-dir");
+        } else if (arg == "--seed") {
+            seed_ = std::strtoull(value(i, "--seed").c_str(), nullptr, 0);
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(benchName_, 0);
+        } else {
+            std::cerr << benchName_ << ": unknown flag '" << arg << "'\n";
+            usage(benchName_, 2);
+        }
+    }
+    if (outDir_.empty())
+        outDir_ = ".";
+    if (trace && jsonPath_.empty())
+        jsonPath_ = outDir_ + "/" + benchName_ + "_report.json";
+
+    std::error_code ec;
+    std::filesystem::create_directories(outDir_, ec);
+    if (ec) {
+        std::cerr << benchName_ << ": cannot create out-dir '" << outDir_
+                  << "': " << ec.message() << "\n";
+        std::exit(2);
+    }
+
+    reporter_ = std::make_unique<Reporter>(benchName_, quick_, seed_);
+}
+
+RunCapture *
+BenchCli::nextCapture(std::string label)
+{
+    if (!capturing())
+        return nullptr;
+    if (captures_.size() >= maxCaptures_) {
+        if (!capturesDropped_) {
+            capturesDropped_ = true;
+            note("note: capture cap (" + std::to_string(maxCaptures_) +
+                 " runs) reached; later runs are not captured");
+        }
+        return nullptr;
+    }
+    captures_.emplace_back();
+    captures_.back().label = std::move(label);
+    return &captures_.back();
+}
+
+void
+BenchCli::addTable(const std::string &name, const sim::Table &t)
+{
+    t.print();
+    t.writeCsv(outDir_ + "/" + name + ".csv");
+    reporter_->addTable(name, t);
+}
+
+void
+BenchCli::note(const std::string &text)
+{
+    std::cout << text << "\n";
+    reporter_->addNote(text);
+}
+
+int
+BenchCli::finish()
+{
+    if (!capturing())
+        return 0;
+    for (const RunCapture &cap : captures_)
+        reporter_->addRun(cap);
+    if (!reporter_->writeTo(jsonPath_)) {
+        std::cerr << benchName_ << ": failed to write report to '"
+                  << jsonPath_ << "'\n";
+        return 1;
+    }
+    std::cout << "report: " << jsonPath_ << "\n";
+    return 0;
+}
+
+} // namespace smart::harness

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * BenchCli: the shared command-line front end of every bench binary.
+ * Parses the common flags, owns the output directory, collects result
+ * tables and per-run captures, and writes the JSON report on finish().
+ *
+ * Flags:
+ *   --quick        reduced sweep (CI / smoke runs)
+ *   --json PATH    write a smart-bench-report/v1 JSON report to PATH
+ *   --out-dir DIR  directory for CSV/JSON outputs (default ".")
+ *   --seed N       perturb workload RNG seeds where a bench supports it
+ *   --trace        capture controller timelines (implies a JSON report)
+ */
+
+#ifndef SMART_HARNESS_BENCH_CLI_HPP
+#define SMART_HARNESS_BENCH_CLI_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "harness/reporter.hpp"
+#include "harness/testbed.hpp"
+#include "sim/table.hpp"
+
+namespace smart::harness {
+
+/** Common CLI handling + report assembly for bench mains. */
+class BenchCli
+{
+  public:
+    /**
+     * Parse @p argv. Prints usage and exits on --help or unknown flags.
+     * @param bench_name report/default-file base name ("fig03_qp_alloc")
+     */
+    BenchCli(int argc, char **argv, std::string bench_name);
+
+    bool quick() const { return quick_; }
+    std::uint64_t seed() const { return seed_; }
+    const std::string &outDir() const { return outDir_; }
+
+    /** @return true when runs should fill RunCaptures (JSON requested). */
+    bool capturing() const { return !jsonPath_.empty(); }
+
+    /**
+     * Reserve a capture slot for the next measured run, labelled
+     * @p label. @return nullptr when no report was requested (or the
+     * per-report capture cap was reached) — benches pass the result
+     * straight to the run functions, which treat nullptr as "don't
+     * capture".
+     */
+    RunCapture *nextCapture(std::string label);
+
+    /** Print @p t, write it to <out-dir>/<name>.csv, add to the report. */
+    void addTable(const std::string &name, const sim::Table &t);
+
+    /** Print @p text and record it in the report's notes. */
+    void note(const std::string &text);
+
+    /**
+     * Flush the JSON report (when requested).
+     * @return process exit code (0, or 1 on report I/O failure)
+     */
+    int finish();
+
+  private:
+    std::string benchName_;
+    bool quick_ = false;
+    std::uint64_t seed_ = 0;
+    std::string outDir_ = ".";
+    std::string jsonPath_;
+    // Stable-address storage: run functions hold RunCapture* across runs.
+    std::deque<RunCapture> captures_;
+    std::size_t maxCaptures_ = 32;
+    bool capturesDropped_ = false;
+    std::unique_ptr<Reporter> reporter_;
+};
+
+} // namespace smart::harness
+
+#endif // SMART_HARNESS_BENCH_CLI_HPP

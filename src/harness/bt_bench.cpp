@@ -46,7 +46,7 @@ btWorker(SmartCtx &ctx, sherman::BtreeClient &client, BtBenchParams params,
 } // namespace
 
 BtBenchResult
-runBtBench(const BtBenchParams &params)
+runBtBench(const BtBenchParams &params, RunCapture *capture)
 {
     TestbedConfig cfg;
     cfg.computeBlades = params.servers;
@@ -56,7 +56,9 @@ runBtBench(const BtBenchParams &params)
     cfg.smart = params.variant == BtVariant::SmartBt ? presets::full()
                                                      : presets::baseline();
     cfg.smart.corosPerThread = params.corosPerThread;
-    applyBenchTimescale(cfg.smart);
+    cfg.smart.withBenchTimescale();
+    if (capture != nullptr)
+        cfg.traceSampleNs = sim::usec(500);
     Testbed tb(cfg);
 
     std::vector<memblade::MemoryBlade *> blades;
@@ -123,6 +125,7 @@ runBtBench(const BtBenchParams &params)
     res.specHitRate = spec_total
         ? static_cast<double>(spec_hits) / static_cast<double>(spec_total)
         : 0.0;
+    captureRun(tb, capture);
     return res;
 }
 

@@ -58,8 +58,13 @@ struct BtBenchResult
     double rdmaMops = 0;
 };
 
-/** Run one B+Tree benchmark configuration. */
-BtBenchResult runBtBench(const BtBenchParams &params);
+/**
+ * Run one B+Tree benchmark configuration.
+ * @param capture when non-null, filled with the run's full metrics
+ *        snapshot and trace (tracing is auto-enabled for the run).
+ */
+BtBenchResult runBtBench(const BtBenchParams &params,
+                         RunCapture *capture = nullptr);
 
 } // namespace smart::harness
 

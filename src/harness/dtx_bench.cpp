@@ -59,7 +59,7 @@ tatpWorker(SmartCtx &ctx, ford::Tatp &tatp, DtxBenchParams params,
 } // namespace
 
 DtxBenchResult
-runDtxBench(const DtxBenchParams &params)
+runDtxBench(const DtxBenchParams &params, RunCapture *capture)
 {
     TestbedConfig cfg;
     cfg.computeBlades = 1;
@@ -68,7 +68,9 @@ runDtxBench(const DtxBenchParams &params)
     cfg.bladeBytes = 2ull << 30;
     cfg.smart = params.smartOn ? presets::full() : presets::baseline();
     cfg.smart.corosPerThread = params.corosPerThread;
-    applyBenchTimescale(cfg.smart);
+    cfg.smart.withBenchTimescale();
+    if (capture != nullptr)
+        cfg.traceSampleNs = sim::usec(500);
     Testbed tb(cfg);
 
     std::vector<memblade::MemoryBlade *> blades;
@@ -123,6 +125,7 @@ runDtxBench(const DtxBenchParams &params)
     res.p99Ns = static_cast<double>(rt.opLatency.percentile(99));
     res.abortRate =
         ops ? static_cast<double>(aborts) / static_cast<double>(ops) : 0.0;
+    captureRun(tb, capture);
     return res;
 }
 

@@ -44,7 +44,12 @@ struct DtxBenchResult
     double rdmaMops = 0;
 };
 
-DtxBenchResult runDtxBench(const DtxBenchParams &params);
+/**
+ * @param capture when non-null, filled with the run's full metrics
+ *        snapshot and trace (tracing is auto-enabled for the run).
+ */
+DtxBenchResult runDtxBench(const DtxBenchParams &params,
+                           RunCapture *capture = nullptr);
 
 } // namespace smart::harness
 

@@ -65,10 +65,13 @@ htWorker(SmartCtx &ctx, race::RaceClient &client, HtBenchParams params,
 } // namespace
 
 HtBenchResult
-runHtBench(const TestbedConfig &cfg, const HtBenchParams &params)
+runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
+           RunCapture *capture)
 {
     TestbedConfig tb_cfg = cfg;
     tb_cfg.smart.corosPerThread = params.corosPerThread;
+    if (capture != nullptr && tb_cfg.traceSampleNs == 0)
+        tb_cfg.traceSampleNs = sim::usec(500);
     Testbed tb(tb_cfg);
 
     std::vector<memblade::MemoryBlade *> blades;
@@ -140,6 +143,7 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params)
     res.p99Ns = static_cast<double>(lat.percentile(99));
     res.avgRetries =
         ops ? static_cast<double>(retries) / static_cast<double>(ops) : 0.0;
+    captureRun(tb, capture);
     return res;
 }
 

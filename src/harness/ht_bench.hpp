@@ -43,9 +43,14 @@ struct HtBenchResult
     double rdmaMops = 0;      ///< underlying one-sided verbs per us
 };
 
-/** Run the benchmark on a fresh testbed built from @p cfg. */
+/**
+ * Run the benchmark on a fresh testbed built from @p cfg.
+ * @param capture when non-null, filled with the run's full metrics
+ *        snapshot and trace (tracing is auto-enabled for the run).
+ */
 HtBenchResult runHtBench(const TestbedConfig &cfg,
-                         const HtBenchParams &params);
+                         const HtBenchParams &params,
+                         RunCapture *capture = nullptr);
 
 /** Size a RaceConfig so @p num_keys load at ~60% occupancy (no splits). */
 race::RaceConfig sizedRaceConfig(std::uint64_t num_keys);

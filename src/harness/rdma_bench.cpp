@@ -54,10 +54,13 @@ benchWorker(SmartCtx &ctx, RdmaBenchParams params)
 } // namespace
 
 RdmaBenchResult
-runRdmaBench(const TestbedConfig &cfg, const RdmaBenchParams &params)
+runRdmaBench(const TestbedConfig &cfg, const RdmaBenchParams &params,
+             RunCapture *capture)
 {
     TestbedConfig tb_cfg = cfg;
     tb_cfg.bladeBytes = params.regionBytes;
+    if (capture != nullptr && tb_cfg.traceSampleNs == 0)
+        tb_cfg.traceSampleNs = sim::usec(500);
     Testbed tb(tb_cfg);
 
     for (std::uint32_t c = 0; c < tb.numComputeBlades(); ++c) {
@@ -123,6 +126,7 @@ runRdmaBench(const TestbedConfig &cfg, const RdmaBenchParams &params)
     res.avgDoorbellWaitNs =
         rings ? static_cast<double>(db_wait) / static_cast<double>(rings)
               : 0.0;
+    captureRun(tb, capture);
     return res;
 }
 

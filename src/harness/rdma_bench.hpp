@@ -43,9 +43,13 @@ struct RdmaBenchResult
  * Run the micro-benchmark on a fresh testbed built from @p cfg.
  * All compute-blade threads target memory blade 0 (like the artifact's
  * client/server pair).
+ *
+ * @param capture when non-null, filled with the run's full metrics
+ *        snapshot and trace (tracing is auto-enabled for the run).
  */
 RdmaBenchResult runRdmaBench(const TestbedConfig &cfg,
-                             const RdmaBenchParams &params);
+                             const RdmaBenchParams &params,
+                             RunCapture *capture = nullptr);
 
 } // namespace smart::harness
 

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reporter: assembles a full machine-readable record of one bench
+ * invocation — configuration, result tables, per-run metrics snapshots
+ * and controller timelines — and serializes it as JSON
+ * (schema "smart-bench-report/v1"). scripts/check_bench_json.py
+ * validates the schema; EXPERIMENTS.md documents it.
+ */
+
+#ifndef SMART_HARNESS_REPORTER_HPP
+#define SMART_HARNESS_REPORTER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/testbed.hpp"
+#include "sim/json.hpp"
+#include "sim/table.hpp"
+
+namespace smart::harness {
+
+/** Builds the JSON report of one bench process. */
+class Reporter
+{
+  public:
+    Reporter(std::string bench, bool quick, std::uint64_t seed)
+        : bench_(std::move(bench)), quick_(quick), seed_(seed)
+    {
+    }
+
+    /** Record a result table under @p name (also the CSV base name). */
+    void addTable(const std::string &name, const sim::Table &t);
+
+    /** Record one measured run (snapshot + optional trace). */
+    void addRun(const RunCapture &cap);
+
+    /** Record a free-form note (the benches' "Paper shape" blurbs). */
+    void addNote(const std::string &text) { notes_.push_back(text); }
+
+    std::size_t numRuns() const { return runs_.size(); }
+
+    /** @return the whole report as a Json tree. */
+    sim::Json toJson() const;
+
+    /** Write the report to @p path. @return false on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    std::string bench_;
+    bool quick_;
+    std::uint64_t seed_;
+    std::vector<std::pair<std::string, sim::Json>> tables_;
+    std::vector<sim::Json> runs_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace smart::harness
+
+#endif // SMART_HARNESS_REPORTER_HPP

@@ -16,26 +16,13 @@
 
 #include "memblade/memory_blade.hpp"
 #include "rnic/rnic_config.hpp"
+#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "smart/smart_config.hpp"
 #include "smart/smart_runtime.hpp"
 
 namespace smart::harness {
-
-/**
- * Scale SMART's adaptation timescales down for simulation benches: the
- * paper's epoch is Δ = 8 ms probes + 480 ms stable phase, sized for
- * multi-second hardware runs. Simulated measurement windows are a few
- * milliseconds, so benches shrink the epoch by 8x while keeping the
- * paper's structure (5 candidate probes, stable phase = 20 probes).
- * EXPERIMENTS.md documents this scaling.
- */
-inline void
-applyBenchTimescale(SmartConfig &c)
-{
-    c.probeIntervalNs = sim::msec(1);
-    c.stableIntervalNs = sim::msec(20);
-}
 
 /** Cluster shape + per-blade configuration. */
 struct TestbedConfig
@@ -46,6 +33,14 @@ struct TestbedConfig
     std::uint32_t threadsPerBlade = 96;
     std::uint32_t memoryBlades = 2;
     std::uint64_t bladeBytes = 1ull << 30; // 1 GB registered per blade
+
+    /**
+     * Virtual-time sampling cadence of the built-in tracer; 0 disables
+     * tracing entirely (no sampling coroutine is spawned).
+     */
+    sim::Time traceSampleNs = 0;
+    /** Hard cap on trace samples (bounds report size). */
+    std::size_t traceMaxSamples = 4096;
 };
 
 /** A fully wired cluster: every compute blade connected to every blade. */
@@ -65,9 +60,15 @@ class Testbed
             for (auto &mb : memBlades_)
                 computeBlades_.back()->connect(*mb);
         }
+        if (cfg.traceSampleNs > 0) {
+            tracer_ = std::make_unique<sim::Tracer>(sim_, sim_.metrics());
+            tracer_->start(cfg.traceSampleNs, defaultTraceFilter,
+                           cfg.traceMaxSamples);
+        }
     }
 
     sim::Simulator &sim() { return sim_; }
+    const sim::Simulator &sim() const { return sim_; }
     const TestbedConfig &config() const { return cfg_; }
 
     std::uint32_t numMemBlades() const { return memBlades_.size(); }
@@ -75,26 +76,38 @@ class Testbed
 
     std::uint32_t numComputeBlades() const { return computeBlades_.size(); }
     SmartRuntime &compute(std::uint32_t i) { return *computeBlades_[i]; }
-
-    /** Sum of initiator-completed WRs across compute blades. */
-    std::uint64_t
-    totalWrsCompleted() const
+    const SmartRuntime &compute(std::uint32_t i) const
     {
-        std::uint64_t sum = 0;
-        for (const auto &cb : computeBlades_)
-            sum += const_cast<SmartRuntime &>(*cb).rnic().perf()
-                       .wrsCompleted.value();
-        return sum;
+        return *computeBlades_[i];
     }
 
-    /** Sum of application ops recorded across compute blades. */
-    std::uint64_t
-    totalAppOps() const
+    /** @return the built-in tracer (nullptr unless traceSampleNs > 0). */
+    sim::Tracer *tracer() { return tracer_.get(); }
+
+    /** Snapshot every registered metric at the current virtual time. */
+    sim::MetricsSnapshot
+    snapshot() const
     {
-        std::uint64_t sum = 0;
-        for (const auto &cb : computeBlades_)
-            sum += cb->appOps.value();
-        return sum;
+        return sim_.metrics().snapshot(sim_.now());
+    }
+
+    /**
+     * Default trace filter: blade-level series plus the adaptive
+     * controller gauges of thread 0 (one exemplar thread keeps report
+     * size independent of the thread count; per-thread data is still
+     * available in full through snapshot()).
+     */
+    static bool
+    defaultTraceFilter(const sim::MetricId &id, sim::MetricKind kind)
+    {
+        (void)kind;
+        if (id.name.rfind("rnic.", 0) == 0 ||
+            id.name.rfind("app.", 0) == 0 ||
+            id.name.rfind("memblade.", 0) == 0)
+            return true;
+        if (id.name.rfind("smart.ctrl.", 0) == 0)
+            return id.label("thread") == "0";
+        return false;
     }
 
   private:
@@ -102,7 +115,33 @@ class Testbed
     sim::Simulator sim_;
     std::vector<std::unique_ptr<memblade::MemoryBlade>> memBlades_;
     std::vector<std::unique_ptr<SmartRuntime>> computeBlades_;
+    // Declared last: sampling coroutine references members above.
+    std::unique_ptr<sim::Tracer> tracer_;
 };
+
+/**
+ * Everything a bench captures about one measured run: the final metrics
+ * snapshot and (when tracing was on) the controller/throughput timelines.
+ */
+struct RunCapture
+{
+    std::string label;
+    sim::MetricsSnapshot metrics;
+    sim::TraceData trace;
+};
+
+/** Fill @p cap (if non-null) from @p tb after a finished run. */
+inline void
+captureRun(Testbed &tb, RunCapture *cap)
+{
+    if (cap == nullptr)
+        return;
+    cap->metrics = tb.snapshot();
+    if (tb.tracer() != nullptr) {
+        tb.tracer()->stop();
+        cap->trace = tb.tracer()->take();
+    }
+}
 
 } // namespace smart::harness
 

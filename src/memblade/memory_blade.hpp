@@ -37,7 +37,15 @@ class MemoryBlade
           memory_(new std::uint8_t[bytes])
     {
         mr_ = &rnic_.registerMemory(memory_.get(), bytes);
+        rnic_.sim().metrics().registerGauge(
+            this, "memblade.free_bytes", {{"blade", rnic_.name()}},
+            [this] { return static_cast<double>(freeBytes()); });
     }
+
+    ~MemoryBlade() { rnic_.sim().metrics().unregisterOwner(this); }
+
+    MemoryBlade(const MemoryBlade &) = delete;
+    MemoryBlade &operator=(const MemoryBlade &) = delete;
 
     /** @return this blade's RNIC (the responder for client QPs). */
     rnic::Rnic &rnic() { return rnic_; }

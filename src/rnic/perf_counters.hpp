@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "sim/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace smart::rnic {
@@ -32,6 +33,25 @@ struct PerfCounters
     smart::sim::Counter wqeRefetches;
     /** MTT/MPT translation refetches. */
     smart::sim::Counter mttRefetches;
+
+    /** Register every counter under "rnic.*" with @p labels. */
+    void
+    registerWith(smart::sim::MetricsRegistry &m, const void *owner,
+                 const smart::sim::Labels &labels)
+    {
+        m.registerCounter(owner, "rnic.wrs_completed", labels,
+                          &wrsCompleted);
+        m.registerCounter(owner, "rnic.wrs_served", labels, &wrsServed);
+        m.registerCounter(owner, "rnic.dram_bytes", labels, &dramBytes);
+        m.registerCounter(owner, "rnic.doorbell_wait_ns", labels,
+                          &doorbellWaitNs);
+        m.registerCounter(owner, "rnic.doorbell_rings", labels,
+                          &doorbellRings);
+        m.registerCounter(owner, "rnic.wqe_refetches", labels,
+                          &wqeRefetches);
+        m.registerCounter(owner, "rnic.mtt_refetches", labels,
+                          &mttRefetches);
+    }
 
     /** Reset the deltas used by windowed measurements. */
     void

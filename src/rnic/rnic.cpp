@@ -22,6 +22,18 @@ Rnic::Rnic(sim::Simulator &sim, const RnicConfig &cfg, std::string name)
       mttCache_(cfg.mttCacheCapacity),
       qpcCache_(cfg.qpcCacheCapacity)
 {
+    sim::Labels labels{{"blade", name_}};
+    sim::MetricsRegistry &m = sim_.metrics();
+    perf_.registerWith(m, this, labels);
+    m.registerCounter(this, "rnic.wqe_hits", labels, &wqeHits_);
+    m.registerCounter(this, "rnic.wqe_misses", labels, &wqeMisses_);
+    m.registerGauge(this, "rnic.owr_now", labels,
+                    [this] { return static_cast<double>(owrNow_); });
+}
+
+Rnic::~Rnic()
+{
+    sim_.metrics().unregisterOwner(this);
 }
 
 const MrRecord &
@@ -223,6 +235,8 @@ Rnic::processOne(Rnic *target, WorkReq wr)
         // engine. This is the cache-thrashing cost of too many OWRs.
         wqeMisses_.add();
         perf_.wqeRefetches.add();
+        if (wr.wqeMissCounter)
+            wr.wqeMissCounter->add();
         perf_.dramBytes.add(cfg_.wqeMissBytes);
         co_await dmaEngines_.acquire();
         co_await sim_.delay(cfg_.dmaMissServiceNs);

@@ -77,6 +77,12 @@ struct WorkReq
     std::uint64_t icmBase = 0;
     CompletionSink *sink = nullptr;
     bool signaled = true;
+    /**
+     * Optional initiator-side attribution: bumped when this WR's WQE
+     * state must be refetched (cache miss). Lets the SMART layer keep
+     * per-thread refetch counts the aggregate RNIC counter cannot.
+     */
+    sim::Counter *wqeMissCounter = nullptr;
 };
 
 /**
@@ -87,6 +93,7 @@ class Rnic
 {
   public:
     Rnic(sim::Simulator &sim, const RnicConfig &cfg, std::string name);
+    ~Rnic();
 
     Rnic(const Rnic &) = delete;
     Rnic &operator=(const Rnic &) = delete;
@@ -102,6 +109,9 @@ class Rnic
 
     /** @return performance counters (mutable: windowed benches reset). */
     PerfCounters &perf() { return perf_; }
+
+    /** @return performance counters, read-only. */
+    const PerfCounters &perf() const { return perf_; }
 
     /** @return the MTT/MPT translation cache (for test introspection). */
     LruCache &mttCache() { return mttCache_; }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
 
@@ -131,10 +132,19 @@ class Simulator
     /** Number of events processed so far (perf introspection). */
     std::uint64_t eventsScheduled() const { return events_.totalScheduled(); }
 
+    /**
+     * Metrics registered by every component of this simulation. Hanging
+     * the registry off the Simulator means anything holding a Simulator&
+     * (i.e. every component) can register without extra plumbing.
+     */
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
   private:
     EventQueue events_;
     Time now_ = 0;
     std::vector<std::unique_ptr<Task>> rootTasks_;
+    MetricsRegistry metrics_;
 };
 
 } // namespace smart::sim

@@ -121,7 +121,7 @@ class LatencyHistogram
         min_ = std::min(min_, o.min_);
     }
 
-  private:
+    /** Bucket index of value @p ns (public for serialization and tests). */
     static int
     bucketOf(std::uint64_t ns)
     {
@@ -129,12 +129,29 @@ class LatencyHistogram
             return static_cast<int>(ns); // exact in the first octave
         int msb = 63 - __builtin_clzll(ns);
         int shift = msb - kSubBits; // 0 for the second octave
-        if (shift >= kOctaves - 2)
-            shift = kOctaves - 2 - 1;
+        // The last representable octave has shift == kOctaves - 2 (its
+        // top bucket is index kBuckets - 1). Values beyond it saturate
+        // into that top bucket; extracting sub-bucket bits with a
+        // clamped shift would fold them onto arbitrary lower buckets.
+        if (shift > kOctaves - 2)
+            return kBuckets - 1;
         std::uint64_t sub = (ns >> shift) & ((1ull << kSubBits) - 1);
         return (1 << kSubBits) + (shift << kSubBits) + static_cast<int>(sub);
     }
 
+    /** Lower edge of bucket @p b. */
+    static std::uint64_t
+    bucketLo(int b)
+    {
+        if (b < (1 << kSubBits))
+            return static_cast<std::uint64_t>(b);
+        int idx = b - (1 << kSubBits);
+        int shift = idx >> kSubBits;
+        std::uint64_t sub = idx & ((1 << kSubBits) - 1);
+        return ((1ull << kSubBits) + sub) << shift;
+    }
+
+    /** Representative midpoint of bucket @p b. */
     static std::uint64_t
     bucketMid(int b)
     {
@@ -148,6 +165,7 @@ class LatencyHistogram
         return lo + width / 2;
     }
 
+  private:
     std::array<std::uint64_t, kBuckets> counts_{};
     std::uint64_t total_ = 0;
     std::uint64_t sum_ = 0;

@@ -107,6 +107,15 @@ class Table
             emit(r);
     }
 
+    /** @return the header cells. */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** @return all rows (each a vector of cell strings). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tracer implementation.
+ */
+
+#include "sim/trace.hpp"
+
+namespace smart::sim {
+
+const TraceSeries *
+TraceData::find(const std::string &name, const std::string &thread) const
+{
+    for (const TraceSeries &s : series) {
+        if (s.id.name != name)
+            continue;
+        if (!thread.empty() && s.id.label("thread") != thread)
+            continue;
+        return &s;
+    }
+    return nullptr;
+}
+
+Json
+TraceData::toJson() const
+{
+    Json t = Json::array();
+    for (Time ts : at)
+        t.push(Json(static_cast<std::uint64_t>(ts)));
+
+    Json series_arr = Json::array();
+    for (const TraceSeries &s : series) {
+        Json labels = Json::object();
+        for (const auto &[k, v] : s.id.labels)
+            labels.set(k, v);
+        Json values = Json::array();
+        for (double v : s.values)
+            values.push(Json(v));
+        Json obj = Json::object();
+        obj.set("name", s.id.name);
+        obj.set("labels", std::move(labels));
+        obj.set("kind", metricKindName(s.kind));
+        obj.set("values", std::move(values));
+        series_arr.push(std::move(obj));
+    }
+
+    Json out = Json::object();
+    out.set("t_ns", std::move(t));
+    out.set("series", std::move(series_arr));
+    return out;
+}
+
+void
+Tracer::start(Time period, Filter filter, std::size_t max_samples)
+{
+    period_ = period;
+    maxSamples_ = max_samples;
+    running_ = true;
+
+    data_.series.clear();
+    readers_.clear();
+    registry_.forEachScalar([&](const MetricId &id, MetricKind kind,
+                                const std::function<double()> &read) {
+        if (filter && !filter(id, kind))
+            return;
+        data_.series.push_back(TraceSeries{id, kind, {}});
+        readers_.push_back(read);
+    });
+
+    sim_.spawn(sampleLoop());
+}
+
+void
+Tracer::sampleOnce()
+{
+    data_.at.push_back(sim_.now());
+    for (std::size_t i = 0; i < readers_.size(); ++i)
+        data_.series[i].values.push_back(readers_[i]());
+}
+
+Task
+Tracer::sampleLoop()
+{
+    while (running_ && data_.at.size() < maxSamples_) {
+        sampleOnce();
+        co_await sim_.delay(period_);
+    }
+}
+
+} // namespace smart::sim

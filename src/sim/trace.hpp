@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Low-overhead time-series tracer over the MetricsRegistry: samples a
+ * filtered set of scalar metrics (counters + gauges) on a fixed
+ * virtual-time cadence. This is what turns the adaptive controllers
+ * (Algorithm-1 credit C_max, water-mark c_max / t_max, retry rate γ)
+ * into plottable timelines instead of opaque steady-state numbers.
+ */
+
+#ifndef SMART_SIM_TRACE_HPP
+#define SMART_SIM_TRACE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/json.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace smart::sim {
+
+/** One traced metric and its sampled values (parallel to TraceData::at). */
+struct TraceSeries
+{
+    MetricId id;
+    MetricKind kind = MetricKind::Gauge;
+    std::vector<double> values;
+};
+
+/** A complete trace: sample times plus one value-column per series. */
+struct TraceData
+{
+    std::vector<Time> at;           ///< virtual sample timestamps (ns)
+    std::vector<TraceSeries> series;
+
+    /** @return number of samples taken. */
+    std::size_t samples() const { return at.size(); }
+
+    /**
+     * @return first series whose metric is named @p name (and, when
+     * @p thread is non-empty, whose "thread" label matches), or nullptr.
+     */
+    const TraceSeries *find(const std::string &name,
+                            const std::string &thread = "") const;
+
+    /** Serialize as {"t_ns": [...], "series": [{name, labels, kind, values}]}. */
+    Json toJson() const;
+};
+
+/**
+ * Samples registered metrics into a TraceData. Create one per Simulator
+ * run; start() spawns the sampling coroutine on the simulator.
+ */
+class Tracer
+{
+  public:
+    /** Decides which scalar metrics become trace series. */
+    using Filter = std::function<bool(const MetricId &, MetricKind)>;
+
+    Tracer(Simulator &sim, const MetricsRegistry &registry)
+        : sim_(sim), registry_(registry)
+    {
+    }
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Begin sampling every @p period ns. The series list is fixed from
+     * the metrics registered at this moment; @p filter (empty = accept
+     * all) selects them. Sampling stops after @p max_samples to bound
+     * memory on long runs.
+     */
+    void start(Time period, Filter filter = {},
+               std::size_t max_samples = 4096);
+
+    /** Stop sampling (the trace keeps its collected data). */
+    void stop() { running_ = false; }
+
+    /** @return sampling cadence (0 if start() was never called). */
+    Time period() const { return period_; }
+
+    /** @return collected samples so far. */
+    const TraceData &data() const { return data_; }
+
+    /** @return collected samples, leaving this tracer empty. */
+    TraceData take() { return std::move(data_); }
+
+  private:
+    Task sampleLoop();
+    void sampleOnce();
+
+    Simulator &sim_;
+    const MetricsRegistry &registry_;
+    std::vector<std::function<double()>> readers_;
+    TraceData data_;
+    Time period_ = 0;
+    std::size_t maxSamples_ = 0;
+    bool running_ = false;
+};
+
+} // namespace smart::sim
+
+#endif // SMART_SIM_TRACE_HPP

@@ -56,6 +56,9 @@ class ConflictController
     /** @return current per-thread concurrent-operation limit. */
     std::uint32_t cmax() const { return cmax_; }
 
+    /** @return the retry rate γ fed to the last update() (0 initially). */
+    double lastGamma() const { return lastGamma_; }
+
     /**
      * Feed one sampling window's retry rate γ.
      *
@@ -66,6 +69,7 @@ class ConflictController
     void
     update(double gamma, bool coro_throttle, bool dyn_tmax)
     {
+        lastGamma_ = gamma;
         if (gamma > gammaHigh_) {
             if (coro_throttle && cmax_ > 1) {
                 cmax_ = std::max(1u, cmax_ / 2);
@@ -91,6 +95,7 @@ class ConflictController
     double gammaLow_;
     std::uint64_t tmax_;
     std::uint32_t cmax_;
+    double lastGamma_ = 0.0;
 };
 
 } // namespace smart

@@ -78,6 +78,71 @@ struct SmartConfig
 
     /** Per-coroutine local scratch buffer bytes. */
     std::uint32_t scratchBytesPerCoro = 8192;
+
+    // ---- Fluent builder: chainable tweaks over a preset ----
+
+    /** Set the QP/doorbell allocation policy. */
+    SmartConfig &
+    withQpPolicy(QpPolicy p)
+    {
+        qpPolicy = p;
+        return *this;
+    }
+
+    /** Set the Algorithm-1 epoch timing (probe Δ, stable T). */
+    SmartConfig &
+    withEpoch(sim::Time probe_ns, sim::Time stable_ns)
+    {
+        probeIntervalNs = probe_ns;
+        stableIntervalNs = stable_ns;
+        return *this;
+    }
+
+    /** Enable/disable adaptive work-request throttling (§4.2). */
+    SmartConfig &
+    withWorkReqThrottle(bool on)
+    {
+        workReqThrottle = on;
+        return *this;
+    }
+
+    /** Enable/disable retry backoff and its dynamic t_max (§4.3). */
+    SmartConfig &
+    withBackoff(bool on, bool dyn_limit)
+    {
+        backoff = on;
+        dynBackoffLimit = dyn_limit;
+        return *this;
+    }
+
+    /** Enable/disable adaptive coroutine throttling (§4.3 c_max). */
+    SmartConfig &
+    withCoroThrottle(bool on)
+    {
+        coroThrottle = on;
+        return *this;
+    }
+
+    /** Set coroutines per thread. */
+    SmartConfig &
+    withCoros(std::uint32_t n)
+    {
+        corosPerThread = n;
+        return *this;
+    }
+
+    /**
+     * Shrink the Algorithm-1 epochs so adaptation is observable inside a
+     * few simulated milliseconds. The paper's Δ=8ms / T=480ms epochs
+     * would leave every bench's measurement window inside one epoch;
+     * scaling both by ~8x preserves the probe/stable ratio while letting
+     * --quick runs cross several epochs.
+     */
+    SmartConfig &
+    withBenchTimescale()
+    {
+        return withEpoch(sim::msec(1), sim::msec(20));
+    }
 };
 
 /** Convenience presets used throughout benches and tests. */

@@ -25,6 +25,38 @@ SmartThread::SmartThread(SmartRuntime &rt, std::uint32_t id)
             rt.config().gammaLow),
       credit_(rt.config().initialCmax), cmax_(rt.config().initialCmax)
 {
+    sim::Labels labels{{"blade", rt.name()},
+                       {"thread", std::to_string(id)},
+                       {"policy", qpPolicyName(rt.config().qpPolicy)}};
+    sim::MetricsRegistry &m = rt.sim().metrics();
+    m.registerCounter(this, "smart.thread.wrs_completed", labels,
+                      &completedWrs);
+    m.registerCounter(this, "smart.thread.cas_attempts", labels,
+                      &casAttempts);
+    m.registerCounter(this, "smart.thread.cas_fails", labels, &casFails);
+    m.registerCounter(this, "smart.thread.doorbell_wait_ns", labels,
+                      &doorbellWaitNs);
+    m.registerCounter(this, "smart.thread.doorbell_rings", labels,
+                      &doorbellRings);
+    m.registerCounter(this, "smart.thread.wqe_refetches", labels,
+                      &wqeRefetches);
+    m.registerGauge(this, "smart.ctrl.credit_cmax", labels,
+                    [this] { return static_cast<double>(cmax_); });
+    m.registerGauge(this, "smart.ctrl.credit_avail", labels,
+                    [this] { return static_cast<double>(credit_); });
+    m.registerGauge(this, "smart.ctrl.coro_cmax", labels, [this] {
+        return static_cast<double>(coroGate_.capacity());
+    });
+    m.registerGauge(this, "smart.ctrl.tmax_cycles", labels, [this] {
+        return static_cast<double>(ctrl_.tmaxCycles());
+    });
+    m.registerGauge(this, "smart.ctrl.gamma", labels,
+                    [this] { return ctrl_.lastGamma(); });
+}
+
+SmartThread::~SmartThread()
+{
+    rt_.sim().metrics().unregisterOwner(this);
 }
 
 Task
@@ -69,6 +101,7 @@ SmartThread::stageWr(std::uint32_t blade_idx, rnic::WorkReq wr)
 {
     if (staged_.size() <= blade_idx)
         staged_.resize(blade_idx + 1);
+    wr.wqeMissCounter = &wqeRefetches;
     staged_[blade_idx].wrs.push_back(wr);
 }
 
@@ -189,9 +222,19 @@ SmartRuntime::SmartRuntime(sim::Simulator &sim,
             groupQps_.emplace_back();
         }
     }
+
+    sim::Labels labels{{"blade", name_},
+                       {"policy", qpPolicyName(cfg_.qpPolicy)}};
+    sim::MetricsRegistry &m = sim_.metrics();
+    m.registerCounter(this, "app.ops", labels, &appOps);
+    m.registerCounter(this, "app.retries", labels, &totalRetries);
+    m.registerHistogram(this, "app.op_latency_ns", labels, &opLatency);
 }
 
-SmartRuntime::~SmartRuntime() = default;
+SmartRuntime::~SmartRuntime()
+{
+    sim_.metrics().unregisterOwner(this);
+}
 
 void
 SmartRuntime::installDispatch(verbs::Cq &cq)
@@ -247,6 +290,8 @@ SmartRuntime::connect(memblade::MemoryBlade &blade)
             SmartThread &thr = *threads_[t];
             thr.qps_.push_back(
                 sharedContext_->createQp(*thr.cq_, target));
+            thr.qps_.back()->setDoorbellStats(&thr.doorbellWaitNs,
+                                              &thr.doorbellRings);
         }
         break;
       case QpPolicy::PerThreadDb:
@@ -267,6 +312,8 @@ SmartRuntime::connect(memblade::MemoryBlade &blade)
             verbs::Uar *predicted = sharedContext_->predictNextUar();
             thr.qps_.push_back(
                 sharedContext_->createQp(*thr.cq_, target));
+            thr.qps_.back()->setDoorbellStats(&thr.doorbellWaitNs,
+                                              &thr.doorbellRings);
             assert(thr.qps_.back()->uar() == predicted);
             // Every QP of thread t shares the same private doorbell.
             assert(thr.qps_.size() == 1 ||
@@ -278,6 +325,8 @@ SmartRuntime::connect(memblade::MemoryBlade &blade)
         for (std::uint32_t t = 0; t < num_threads; ++t) {
             SmartThread &thr = *threads_[t];
             thr.qps_.push_back(thr.ownContext_->createQp(*thr.cq_, target));
+            thr.qps_.back()->setDoorbellStats(&thr.doorbellWaitNs,
+                                              &thr.doorbellRings);
         }
         break;
     }

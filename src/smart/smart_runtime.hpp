@@ -138,6 +138,10 @@ class SmartThread
 {
   public:
     SmartThread(SmartRuntime &rt, std::uint32_t id);
+    ~SmartThread();
+
+    SmartThread(const SmartThread &) = delete;
+    SmartThread &operator=(const SmartThread &) = delete;
 
     sim::SimThread &simThread() { return simThread_; }
     std::uint32_t id() const { return id_; }
@@ -193,6 +197,12 @@ class SmartThread
     /** backoffCasSync invocations / failures (γ computation). */
     sim::Counter casAttempts;
     sim::Counter casFails;
+    /** Doorbell spin time / rings attributed to this thread's QPs
+     *  (per-thread QP policies only; shared QPs cannot attribute). */
+    sim::Counter doorbellWaitNs;
+    sim::Counter doorbellRings;
+    /** WQE-cache refetches paid by this thread's work requests. */
+    sim::Counter wqeRefetches;
 
   private:
     friend class SmartRuntime;
@@ -254,6 +264,9 @@ class SmartRuntime
 
     sim::Simulator &sim() { return sim_; }
     rnic::Rnic &rnic() { return rnic_; }
+    const rnic::Rnic &rnic() const { return rnic_; }
+    /** @return diagnostic name ("cb0", ...), used as the blade label. */
+    const std::string &name() const { return name_; }
     const SmartConfig &config() const { return cfg_; }
     std::uint32_t numThreads() const { return threads_.size(); }
     SmartThread &thread(std::uint32_t i) { return *threads_[i]; }

@@ -72,8 +72,13 @@ Qp::postSend(SimThread &thr, std::vector<WorkReq> wrs)
     // paper's "implicit doorbell contention".
     Time wait_start = sim.now();
     co_await uar_->lock.acquire();
-    ctx_.rnic().perf().doorbellWaitNs.add(sim.now() - wait_start);
+    Time waited = sim.now() - wait_start;
+    ctx_.rnic().perf().doorbellWaitNs.add(waited);
     ctx_.rnic().perf().doorbellRings.add();
+    if (dbWaitSink_)
+        dbWaitSink_->add(waited);
+    if (dbRingSink_)
+        dbRingSink_->add();
     // Bounce cost scales with the number of other QPs actively ringing
     // this doorbell (their cores' caches hold the lock line), or with
     // queued spinners if that is momentarily larger.

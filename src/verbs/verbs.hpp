@@ -192,6 +192,19 @@ class Qp
      */
     Task postSend(SimThread &thr, std::vector<WorkReq> wrs);
 
+    /**
+     * Attribute this QP's doorbell waits/rings to the owner's counters
+     * (in addition to the RNIC aggregates). Under per-thread QP policies
+     * the SMART layer points these at per-thread counters; under shared
+     * policies attribution is impossible and they stay unset.
+     */
+    void
+    setDoorbellStats(sim::Counter *wait_ns, sim::Counter *rings)
+    {
+        dbWaitSink_ = wait_ns;
+        dbRingSink_ = rings;
+    }
+
     /** @return the doorbell register this QP was bound to at creation. */
     Uar *uar() { return uar_; }
 
@@ -208,6 +221,8 @@ class Qp
     Uar *uar_;
     Resource qpLock_;
     SharerTracker qpSharers_;
+    sim::Counter *dbWaitSink_ = nullptr;
+    sim::Counter *dbRingSink_ = nullptr;
 };
 
 /**

@@ -29,7 +29,7 @@ rawRead(QpPolicy policy, std::uint32_t threads, std::uint32_t depth,
     cfg.smart = throttle ? presets::workReqThrot() : presets::baseline();
     cfg.smart.qpPolicy = policy;
     cfg.smart.corosPerThread = 1;
-    applyBenchTimescale(cfg.smart);
+    cfg.smart.withBenchTimescale();
     RdmaBenchParams p;
     p.depth = depth;
     p.warmupNs = throttle ? sim::msec(8) : sim::msec(1);
@@ -106,7 +106,7 @@ htRun(const SmartConfig &smart, std::uint32_t threads,
     cfg.threadsPerBlade = threads;
     cfg.bladeBytes = 1ull << 30;
     cfg.smart = smart;
-    applyBenchTimescale(cfg.smart);
+    cfg.smart.withBenchTimescale();
     HtBenchParams p;
     p.numKeys = 100'000;
     p.mix = mix;

@@ -25,6 +25,8 @@ using namespace smart::harness;
 
 namespace {
 
+std::uint64_t g_seed = 0; // from BenchCli --seed
+
 double
 run(const rnic::RnicConfig &hw, QpPolicy policy, std::uint32_t depth,
     RunCapture *cap = nullptr)
@@ -37,6 +39,7 @@ run(const rnic::RnicConfig &hw, QpPolicy policy, std::uint32_t depth,
     cfg.smart = presets::baseline().withQpPolicy(policy).withCoros(1);
     RdmaBenchParams p;
     p.depth = depth;
+    p.seed = g_seed;
     p.measureNs = sim::msec(2);
     return runRdmaBench(cfg, p, cap).mops;
 }
@@ -47,6 +50,7 @@ int
 main(int argc, char **argv)
 {
     BenchCli cli(argc, argv, "ablation_model");
+    g_seed = cli.seed();
     bool quick = cli.quick();
 
     std::cout << "== Ablation (a): doorbell bounce cost vs per-thread-QP "

@@ -53,6 +53,7 @@ main(int argc, char **argv)
                 params.op = op;
                 params.blockSize = 8;
                 params.depth = 8;
+                params.seed = cli.seed();
                 if (cli.quick())
                     params.measureNs = sim::msec(2);
 

@@ -61,6 +61,7 @@ main(int argc, char **argv)
                 RdmaBenchParams params;
                 params.op = op;
                 params.depth = d;
+                params.seed = cli.seed();
                 params.measureNs =
                     cli.quick() ? sim::msec(2) : sim::msec(4);
                 // Capture the deepest corner — where WQE-cache thrash

@@ -41,6 +41,7 @@ main(int argc, char **argv)
         HtBenchParams p;
         p.numKeys = keys;
         p.mix = workload::YcsbMix::updateOnly();
+        p.seed = cli.seed();
         p.measureNs = cli.quick() ? sim::msec(2) : sim::msec(4);
         RunCapture *cap =
             t == threads.back()
@@ -74,6 +75,7 @@ main(int argc, char **argv)
         p.numKeys = keys;
         p.zipfTheta = theta;
         p.mix = workload::YcsbMix::updateOnly();
+        p.seed = cli.seed();
         p.measureNs = cli.quick() ? sim::msec(2) : sim::msec(4);
         HtBenchResult r = runHtBench(cfg, p);
         b.row()

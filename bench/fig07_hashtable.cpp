@@ -18,6 +18,8 @@ using namespace smart::harness;
 
 namespace {
 
+std::uint64_t g_seed = 0; // from BenchCli --seed
+
 HtBenchResult
 run(std::uint32_t compute_blades, std::uint32_t threads, bool smart_on,
     const workload::YcsbMix &mix, std::uint64_t keys, bool quick,
@@ -34,6 +36,7 @@ run(std::uint32_t compute_blades, std::uint32_t threads, bool smart_on,
     HtBenchParams p;
     p.numKeys = keys;
     p.mix = mix;
+    p.seed = g_seed;
     p.warmupNs = sim::msec(8); // covers one full C_max update phase
     p.measureNs = quick ? sim::msec(2) : sim::msec(4);
     return runHtBench(cfg, p, cap);
@@ -45,6 +48,7 @@ int
 main(int argc, char **argv)
 {
     BenchCli cli(argc, argv, "fig07_hashtable");
+    g_seed = cli.seed();
     bool quick = cli.quick();
     std::uint64_t keys = quick ? 200'000 : 1'000'000;
 

@@ -63,6 +63,7 @@ main(int argc, char **argv)
                 HtBenchParams p;
                 p.numKeys = keys;
                 p.mix = mix;
+                p.seed = cli.seed();
                 p.warmupNs = sim::msec(8);
                 p.measureNs = quick ? sim::msec(2) : sim::msec(4);
                 RunCapture *cap =

@@ -46,6 +46,7 @@ main(int argc, char **argv)
             HtBenchParams p;
             p.numKeys = keys;
             p.mix = workload::YcsbMix::readOnly();
+            p.seed = cli.seed();
             p.interOpDelayNs = d;
             p.warmupNs = sim::msec(8);
             p.measureNs = cli.quick() ? sim::msec(2) : sim::msec(4);

@@ -35,6 +35,7 @@ main(int argc, char **argv)
             DtxBenchParams p;
             p.workload = w;
             p.threads = thr;
+            p.seed = cli.seed();
             p.numAccounts = cli.quick() ? 20'000 : 100'000;
             p.measureNs = cli.quick() ? sim::msec(2) : sim::msec(4);
             p.smartOn = false;

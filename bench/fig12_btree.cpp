@@ -47,6 +47,7 @@ main(int argc, char **argv)
                 p.numKeys = keys;
                 p.servers = 1;
                 p.threadsPerServer = thr;
+                p.seed = cli.seed();
                 p.mix = mix;
                 p.measureNs = quick ? sim::msec(2) : sim::msec(4);
                 RunCapture *cap =
@@ -77,6 +78,7 @@ main(int argc, char **argv)
                 p.numKeys = keys;
                 p.servers = sv;
                 p.threadsPerServer = 94;
+                p.seed = cli.seed();
                 p.mix = mix;
                 p.measureNs = quick ? sim::msec(2) : sim::msec(4);
                 t.cell(runBtBench(p).mops, 2);

@@ -19,6 +19,8 @@ using namespace smart::harness;
 
 namespace {
 
+std::uint64_t g_seed = 0; // from BenchCli --seed
+
 struct Policy
 {
     const char *name;
@@ -54,6 +56,7 @@ run(const SmartConfig &smart, std::uint32_t threads, std::uint32_t batch,
 
     RdmaBenchParams params;
     params.depth = batch;
+    params.seed = g_seed;
     params.warmupNs = smart.workReqThrottle ? sim::msec(8) : sim::msec(1);
     params.measureNs = quick ? sim::msec(2) : sim::msec(4);
     return runRdmaBench(cfg, params, cap).mops;
@@ -65,6 +68,7 @@ int
 main(int argc, char **argv)
 {
     BenchCli cli(argc, argv, "fig13_micro");
+    g_seed = cli.seed();
     bool quick = cli.quick();
     std::vector<Policy> pols = policies();
 

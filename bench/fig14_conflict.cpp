@@ -19,6 +19,8 @@ using namespace smart::harness;
 
 namespace {
 
+std::uint64_t g_seed = 0; // from BenchCli --seed
+
 struct Variant
 {
     const char *name;
@@ -55,6 +57,7 @@ run(const SmartConfig &smart, std::uint32_t threads, std::uint64_t keys,
     HtBenchParams p;
     p.numKeys = keys;
     p.mix = workload::YcsbMix::updateOnly();
+    p.seed = g_seed;
     p.warmupNs = sim::msec(8);
     p.measureNs = quick ? sim::msec(2) : sim::msec(4);
     return runHtBench(cfg, p, cap);
@@ -66,6 +69,7 @@ int
 main(int argc, char **argv)
 {
     BenchCli cli(argc, argv, "fig14_conflict");
+    g_seed = cli.seed();
     bool quick = cli.quick();
     std::uint64_t keys = quick ? 200'000 : 1'000'000;
     std::vector<Variant> vars = variants();

@@ -35,10 +35,12 @@ struct Shared
 };
 
 Task
-dynWorker(SmartCtx &ctx, const Shared &shared, std::uint32_t batch)
+dynWorker(SmartCtx &ctx, const Shared &shared, std::uint32_t batch,
+          std::uint64_t seed)
 {
     SmartRuntime &rt = ctx.runtime();
-    sim::Rng rng(0xd15c0 + ctx.thread().id());
+    sim::Rng rng(0xd15c0 + ctx.thread().id() +
+                 seed * 0x9e3779b97f4a7c15ull);
     std::uint8_t *buf = ctx.scratch(batch * 8);
     const std::uint64_t slots = (1ull << 28) / 64;
     for (;;) {
@@ -83,8 +85,8 @@ run(bool throttle, Time interval, Time window, std::uint64_t seed,
     Testbed tb(cfg);
     Shared shared;
     for (std::uint32_t t = 0; t < 96; ++t) {
-        tb.compute(0).spawnWorker(t, [&shared](SmartCtx &ctx) {
-            return dynWorker(ctx, shared, 64);
+        tb.compute(0).spawnWorker(t, [&shared, seed](SmartCtx &ctx) {
+            return dynWorker(ctx, shared, 64, seed);
         });
     }
     tb.sim().spawn(controller(tb.sim(), shared, interval, seed));

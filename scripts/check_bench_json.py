@@ -92,8 +92,43 @@ def validate(report):
           "no run carries per-thread doorbell_wait_ns + wqe_refetches")
     check(saw_ctrl_timeline,
           "no run has a C_max + t_max timeline with >= 5 samples")
+    if report["bench"] == "fault_storm":
+        validate_fault_storm(report)
     print(f"check_bench_json: OK: {report['bench']} "
           f"({len(report['tables'])} tables, {len(report['runs'])} runs)")
+
+
+def validate_fault_storm(report):
+    """Fault benches must report the degradation shape, not just survive."""
+    tables = {t["name"]: t for t in report["tables"]}
+
+    phases = tables.get("fault_storm_phases")
+    check(phases is not None, "fault_storm report missing phases table")
+    cols = {name: i for i, name in enumerate(phases["header"])}
+    for col in ("phase", "ops", "mops", "failed_ops"):
+        check(col in cols, f"fault_storm_phases missing column {col!r}")
+    seen = [row[cols["phase"]] for row in phases["rows"]]
+    check(seen == ["pre", "during", "post"],
+          f"fault_storm_phases rows must be pre/during/post, got {seen}")
+    for row in phases["rows"]:
+        check(float(row[cols["mops"]]) > 0,
+              f"phase {row[cols['phase']]}: zero throughput")
+
+    degr = tables.get("fault_storm_degradation")
+    check(degr is not None,
+          "fault_storm report missing degradation table")
+    cols = {name: i for i, name in enumerate(degr["header"])}
+    for col in ("pre_mops", "during_mops", "post_mops", "post_over_pre"):
+        check(col in cols,
+              f"fault_storm_degradation missing column {col!r}")
+    check(len(degr["rows"]) == 1,
+          "fault_storm_degradation must have exactly one row")
+    row = degr["rows"][0]
+    ratio = float(row[cols["post_over_pre"]])
+    check(ratio >= 0.9,
+          f"post-recovery throughput ratio {ratio} < 0.9")
+    check(float(row[cols["during_mops"]]) > 0,
+          "throughput collapsed to zero during the fault")
 
 
 def main(argv):

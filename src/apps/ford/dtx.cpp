@@ -275,6 +275,13 @@ Dtx::fetch(DtxResult &res)
     }
     co_await ctx_.postSend();
     co_await ctx_.sync();
+    if (ctx_.failed()) {
+        // Verb retries exhausted (e.g. blade down): the images are not
+        // trustworthy. Abort; the caller re-runs the transaction.
+        ctx_.clearError();
+        aborted_ = true;
+        ++res.aborts;
+    }
 }
 
 Task
@@ -293,6 +300,10 @@ Dtx::releaseLocks(DtxResult &res)
     if (any) {
         co_await ctx_.postSend();
         co_await ctx_.sync();
+        // Unlock writes can themselves fail if the blade died; recovery
+        // breaks stale locks, so give up rather than block the abort.
+        if (ctx_.failed())
+            ctx_.clearError();
     }
 }
 
@@ -305,6 +316,12 @@ Dtx::commit(DtxResult &res)
         bool ok = false;
         co_await ctx_.backoffCasSync(primaryPtr(it), 0, txid_, old, ok);
         ++res.rdmaOps;
+        if (ctx_.failed()) {
+            // Verb failure (not a lock conflict): ok is already false;
+            // fall through to the abort path below.
+            ctx_.clearError();
+            aborted_ = true;
+        }
         if (!ok) {
             co_await releaseLocks(res);
             ++res.aborts;
@@ -328,6 +345,14 @@ Dtx::commit(DtxResult &res)
         }
         co_await ctx_.postSend();
         co_await ctx_.sync();
+        if (ctx_.failed()) {
+            ctx_.clearError();
+            aborted_ = true;
+            co_await releaseLocks(res);
+            ++res.aborts;
+            res.committed = false;
+            co_return;
+        }
         i = 0;
         bool valid = true;
         for (Item &it : reads_)
@@ -388,6 +413,17 @@ Dtx::commit(DtxResult &res)
     }
     co_await ctx_.postSend();
     co_await ctx_.sync();
+    if (ctx_.failed()) {
+        // Log may be torn across replicas: recovery treats an incomplete
+        // redo log as "never committed" and discards it, so aborting
+        // here preserves failure atomicity.
+        ctx_.clearError();
+        aborted_ = true;
+        co_await releaseLocks(res);
+        ++res.aborts;
+        res.committed = false;
+        co_return;
+    }
 
     // ---- Commit-write phase: the same final images, both replicas ----
     for (Item &it : writes_) {
@@ -398,6 +434,14 @@ Dtx::commit(DtxResult &res)
     }
     co_await ctx_.postSend();
     co_await ctx_.sync();
+    if (ctx_.failed()) {
+        // Past the commit point: the redo log is complete on both
+        // replicas, so the transaction is durable. recover() re-applies
+        // any data write that did not land and clears stale locks.
+        ctx_.clearError();
+        res.committed = true;
+        co_return;
+    }
 
     // Persistence barrier on the NVM media.
     co_await ctx_.sim().delay(
@@ -421,6 +465,13 @@ Dtx::validateReadOnly(DtxResult &res, bool &consistent)
     }
     co_await ctx_.postSend();
     co_await ctx_.sync();
+    if (ctx_.failed()) {
+        ctx_.clearError();
+        aborted_ = true;
+        ++res.aborts;
+        consistent = false;
+        co_return;
+    }
     consistent = true;
     i = 0;
     for (Item &it : reads_)

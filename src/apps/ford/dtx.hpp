@@ -214,6 +214,13 @@ class Dtx
     /** Read-only transactions: validate that read versions still hold. */
     sim::Task validateReadOnly(DtxResult &res, bool &consistent);
 
+    /**
+     * @return true if a verb-level failure (retries exhausted / timeout)
+     * aborted this transaction. The caller must not use fetched images
+     * and should re-run the transaction (typically after recover()).
+     */
+    bool aborted() const { return aborted_; }
+
   private:
     struct Item
     {
@@ -235,6 +242,7 @@ class Dtx
     std::vector<Item> reads_;
     std::vector<Item> writes_;
     std::uint32_t logPos_ = 0;
+    bool aborted_ = false;
 };
 
 } // namespace smart::ford

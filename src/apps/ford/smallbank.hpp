@@ -60,6 +60,8 @@ class SmallBank
             tx.addRead(savings_, a);
             tx.addRead(checking_, a);
             co_await tx.fetch(res);
+            if (tx.aborted())
+                continue;
             bool consistent = false;
             co_await tx.validateReadOnly(res, consistent);
             if (consistent) {
@@ -79,6 +81,8 @@ class SmallBank
             Dtx tx(sys_, ctx);
             tx.addWrite(checking_, a);
             co_await tx.fetch(res);
+            if (tx.aborted())
+                continue;
             Record &r = tx.writeImage(0);
             setRecordBalance(r, recordBalance(r) + amount);
             co_await tx.commit(res);
@@ -96,6 +100,8 @@ class SmallBank
             Dtx tx(sys_, ctx);
             tx.addWrite(savings_, a);
             co_await tx.fetch(res);
+            if (tx.aborted())
+                continue;
             Record &r = tx.writeImage(0);
             setRecordBalance(r, recordBalance(r) + amount);
             co_await tx.commit(res);
@@ -117,6 +123,8 @@ class SmallBank
             tx.addWrite(checking_, a);
             tx.addWrite(checking_, b);
             co_await tx.fetch(res);
+            if (tx.aborted())
+                continue;
             std::int64_t total = recordBalance(tx.writeImage(0)) +
                                  recordBalance(tx.writeImage(1));
             setRecordBalance(tx.writeImage(0), 0);
@@ -139,6 +147,8 @@ class SmallBank
             tx.addRead(savings_, a);
             tx.addWrite(checking_, a);
             co_await tx.fetch(res);
+            if (tx.aborted())
+                continue;
             std::int64_t penalty =
                 recordBalance(tx.readImage(0)) +
                             recordBalance(tx.writeImage(0)) <
@@ -166,6 +176,8 @@ class SmallBank
             tx.addWrite(checking_, a);
             tx.addWrite(checking_, b);
             co_await tx.fetch(res);
+            if (tx.aborted())
+                continue;
             setRecordBalance(tx.writeImage(0),
                              recordBalance(tx.writeImage(0)) - amount);
             setRecordBalance(tx.writeImage(1),

@@ -372,14 +372,24 @@ RaceClient::refreshDirectory(SmartCtx &ctx, OpResult &res)
     std::uint64_t gd_word = 0;
     co_await ctx.readSync(bladePtr(0, table_.gdOffset()), &gd_word, 8);
     ++res.rdmaOps;
+    if (ctx.failed()) {
+        // Directory blade unreachable: keep the stale cache; the
+        // caller's attempt loop retries after the error clears.
+        ctx.clearError();
+        co_return;
+    }
     std::uint32_t gd = static_cast<std::uint32_t>(gd_word & 0xffffffff);
-    dir_.globalDepth = gd;
-    dir_.entries.resize(1ull << gd);
     // One big READ of the live prefix of the directory.
     std::vector<std::uint64_t> raw(1ull << gd);
     co_await ctx.readSync(bladePtr(0, table_.dirOffset()), raw.data(),
                           static_cast<std::uint32_t>(raw.size() * 8));
     ++res.rdmaOps;
+    if (ctx.failed()) {
+        ctx.clearError();
+        co_return;
+    }
+    dir_.globalDepth = gd;
+    dir_.entries.resize(1ull << gd);
     for (std::uint64_t i = 0; i < raw.size(); ++i)
         dir_.entries[i].raw = raw[i];
 }
@@ -411,10 +421,16 @@ RaceClient::findKey(SmartCtx &ctx, std::uint64_t key, const GroupRef &gref,
         if (slot.empty() || slot.fp() != fp)
             continue;
         // Fetch the KV block to confirm (fingerprints can collide).
-        std::uint8_t kv[kKvBytes];
+        std::uint8_t kv[kKvBytes] = {};
         co_await ctx.readSync(bladePtr(slot.blade(), slot.offset()), kv,
                               kKvBytes);
         ++res.rdmaOps;
+        if (ctx.failed()) {
+            // KV blade unreachable: skip this candidate (the bytes never
+            // landed); the caller's loop re-reads the group and retries.
+            ctx.clearError();
+            continue;
+        }
         std::uint64_t k = 0;
         std::memcpy(&k, kv, 8);
         if (k == key) {
@@ -444,6 +460,13 @@ RaceClient::lookup(SmartCtx &ctx, std::uint64_t key, OpResult &res)
         GroupRef g2 = locate(h2, dir_idx);
         GroupImage i1, i2;
         co_await readGroups(ctx, g1, g2, i1, i2, res);
+        if (ctx.failed()) {
+            // Segment read failed after retries (e.g. blade restarted):
+            // the cached directory may be stale; re-read it and retry.
+            ctx.clearError();
+            co_await refreshDirectory(ctx, res);
+            continue;
+        }
 
         BucketHeader hdr = i1.header[0];
         if (hdr.splitting()) {
@@ -502,6 +525,12 @@ RaceClient::insert(SmartCtx &ctx, std::uint64_t key, std::uint64_t value,
         }
         GroupImage i1, i2;
         co_await readGroups(ctx, g1, g2, i1, i2, res);
+        if (ctx.failed()) {
+            ctx.clearError();
+            kv_written = false; // the batched KV write may have failed too
+            co_await refreshDirectory(ctx, res);
+            continue;
+        }
 
         BucketHeader hdr = i1.header[0];
         if (hdr.splitting()) {
@@ -600,6 +629,11 @@ RaceClient::remove(SmartCtx &ctx, std::uint64_t key, OpResult &res)
         GroupRef g2 = locate(h2, dir_idx);
         GroupImage i1, i2;
         co_await readGroups(ctx, g1, g2, i1, i2, res);
+        if (ctx.failed()) {
+            ctx.clearError();
+            co_await refreshDirectory(ctx, res);
+            continue;
+        }
 
         BucketHeader hdr = i1.header[0];
         if (hdr.splitting()) {

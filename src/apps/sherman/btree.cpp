@@ -377,14 +377,36 @@ BtreeClient::hoclAcquire(SmartCtx &ctx, std::uint64_t ptr, BtOpResult &res)
     }
 
     // Level 2: the remote lock word (contended only across blades).
+    // Under a FaultPlane, a holder that died (blade crash wiped its
+    // lock-release WRITE, or the client blade reset) would deadlock
+    // every later writer of this node; a lease bounds the wait.
+    const sim::Time lease = index_.config().lockLeaseNs;
+    sim::Time wait_start = ctx.sim().now();
     for (;;) {
         std::uint64_t old = 0;
         bool ok = false;
         co_await ctx.backoffCasSync(rptr(ptr), 0, 1, old, ok);
         ++res.rdmaOps;
-        if (ok)
+        if (ctx.failed()) {
+            // CAS never landed (blade down); keep trying — the lease
+            // timer below still bounds the total wait.
+            ctx.clearError();
+        } else if (ok) {
             co_return;
+        }
         ++res.retries;
+        if (ctx.sim().faultPlane() != nullptr && lease > 0 &&
+            ctx.sim().now() - wait_start > lease) {
+            // Stale lease: break the lock and re-contend for it.
+            std::uint64_t zero = 0;
+            co_await ctx.writeSync(rptr(ptr), &zero, 8);
+            ++res.rdmaOps;
+            if (ctx.failed())
+                ctx.clearError();
+            else
+                ++leaseBreaks_;
+            wait_start = ctx.sim().now();
+        }
     }
 }
 
@@ -394,6 +416,11 @@ BtreeClient::hoclRelease(SmartCtx &ctx, std::uint64_t ptr, BtOpResult &res)
     std::uint64_t zero = 0;
     co_await ctx.writeSync(rptr(ptr), &zero, 8);
     ++res.rdmaOps;
+    if (ctx.failed()) {
+        // Unlock lost (blade down): another writer's lease break will
+        // clear the word once the blade is back.
+        ctx.clearError();
+    }
     LocalLock &local = localLocks_[ptr];
     if (!local.waiters.empty()) {
         std::coroutine_handle<> h = local.waiters.front();

@@ -45,6 +45,15 @@ struct BtreeConfig
     std::uint64_t nodeArenaPerThread = 8ull << 20;
     /** Leaf fill fraction for bulk loading. */
     double loadFill = 0.7;
+    /**
+     * Lock lease: a writer spinning on a remote node lock for longer
+     * than this assumes the holder died (crashed blade / lost client)
+     * and breaks the lock. Only consulted when a FaultPlane is
+     * installed; must exceed the longest healthy backoff (~1.75 ms at
+     * the default t0=4096 cycles, t_M=1024*t0) so live holders are
+     * never preempted.
+     */
+    sim::Time lockLeaseNs = sim::msec(4);
 };
 
 /** Per-operation outcome. */
@@ -142,6 +151,9 @@ class BtreeClient
     /** Leaf splits performed by this client. */
     std::uint64_t splits() const { return splits_; }
 
+    /** Stale lock leases broken (fault recovery; 0 in healthy runs). */
+    std::uint64_t leaseBreaks() const { return leaseBreaks_; }
+
   private:
     struct LocalLock
     {
@@ -205,6 +217,7 @@ class BtreeClient
     std::uint64_t specHits_ = 0;
     std::uint64_t specMisses_ = 0;
     std::uint64_t splits_ = 0;
+    std::uint64_t leaseBreaks_ = 0;
 };
 
 } // namespace smart::sherman

@@ -24,7 +24,8 @@ usage(const std::string &bench, int exit_code)
           "  --quick        reduced sweep for CI / smoke runs\n"
           "  --json PATH    write a smart-bench-report/v1 JSON report\n"
           "  --out-dir DIR  directory for CSV/JSON outputs (default .)\n"
-          "  --seed N       perturb workload RNG seeds where supported\n"
+          "  --seed N       perturb workload RNG seeds (recorded in the "
+          "JSON report)\n"
           "  --trace        capture controller timelines (implies a "
           "JSON report)\n";
     std::exit(exit_code);

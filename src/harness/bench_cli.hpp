@@ -8,7 +8,8 @@
  *   --quick        reduced sweep (CI / smoke runs)
  *   --json PATH    write a smart-bench-report/v1 JSON report to PATH
  *   --out-dir DIR  directory for CSV/JSON outputs (default ".")
- *   --seed N       perturb workload RNG seeds where a bench supports it
+ *   --seed N       perturb every bench's workload RNG streams (recorded
+ *                  in the JSON report; same seed => identical run)
  *   --trace        capture controller timelines (implies a JSON report)
  */
 

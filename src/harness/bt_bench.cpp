@@ -81,7 +81,8 @@ runBtBench(const BtBenchParams &params, RunCapture *capture)
         for (std::uint32_t t = 0; t < rt.numThreads(); ++t) {
             for (std::uint32_t k = 0; k < params.corosPerThread; ++k) {
                 std::uint64_t seed =
-                    0xbee5 + c * 1000003ull + t * 977ull + k * 17ull;
+                    0xbee5 + c * 1000003ull + t * 977ull + k * 17ull +
+                    params.seed * 0x9e3779b97f4a7c15ull;
                 sherman::BtreeClient *cl = clients.back().get();
                 rt.spawnWorker(t, [&, cl, seed](SmartCtx &ctx) {
                     return btWorker(ctx, *cl, params, seed, zetan);

@@ -47,6 +47,8 @@ struct BtBenchParams
     std::uint32_t corosPerThread = 8;
     sim::Time warmupNs = sim::msec(8);
     sim::Time measureNs = sim::msec(4);
+    /** Workload RNG seed (from BenchCli --seed); 0 = default stream. */
+    std::uint64_t seed = 0;
 };
 
 struct BtBenchResult

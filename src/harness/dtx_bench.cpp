@@ -93,7 +93,8 @@ runDtxBench(const DtxBenchParams &params, RunCapture *capture)
     SmartRuntime &rt = tb.compute(0);
     for (std::uint32_t t = 0; t < params.threads; ++t) {
         for (std::uint32_t k = 0; k < params.corosPerThread; ++k) {
-            std::uint64_t seed = 0xd7 + t * 911ull + k * 31ull;
+            std::uint64_t seed = 0xd7 + t * 911ull + k * 31ull +
+                                 params.seed * 0x9e3779b97f4a7c15ull;
             if (bank) {
                 rt.spawnWorker(t, [&, seed](SmartCtx &ctx) {
                     return sbWorker(ctx, *bank, params, seed, zetan);

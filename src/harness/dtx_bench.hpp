@@ -33,6 +33,8 @@ struct DtxBenchParams
     sim::Time warmupNs = sim::msec(8);
     sim::Time measureNs = sim::msec(4);
     sim::Time interTxnDelayNs = 0; ///< Fig. 11 throughput throttling
+    /** Workload RNG seed (from BenchCli --seed); 0 = default stream. */
+    std::uint64_t seed = 0;
 };
 
 struct DtxBenchResult

@@ -92,7 +92,8 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
         for (std::uint32_t t = 0; t < rt.numThreads(); ++t) {
             for (std::uint32_t k = 0; k < params.corosPerThread; ++k) {
                 std::uint64_t seed =
-                    0xf00d + c * 1000003ull + t * 971ull + k * 13ull;
+                    0xf00d + c * 1000003ull + t * 971ull + k * 13ull +
+                    params.seed * 0x9e3779b97f4a7c15ull;
                 race::RaceClient *cl = clients.back().get();
                 rt.spawnWorker(t, [&, cl, seed](SmartCtx &ctx) {
                     return htWorker(ctx, *cl, params, seed, zetan);

@@ -29,6 +29,8 @@ struct HtBenchParams
     sim::Time measureNs = sim::msec(5);
     /** Injected think time per op (Fig. 9 latency/throughput curves). */
     sim::Time interOpDelayNs = 0;
+    /** Workload RNG seed (from BenchCli --seed); 0 = default stream. */
+    std::uint64_t seed = 0;
 };
 
 /** Results of one hash-table benchmark run. */

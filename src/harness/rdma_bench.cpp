@@ -20,7 +20,8 @@ Task
 benchWorker(SmartCtx &ctx, RdmaBenchParams params)
 {
     SmartRuntime &rt = ctx.runtime();
-    sim::Rng rng(0xbe7c0000ull + ctx.thread().id() * 131 + ctx.coroIndex());
+    sim::Rng rng(0xbe7c0000ull + ctx.thread().id() * 131 + ctx.coroIndex() +
+                 params.seed * 0x9e3779b97f4a7c15ull);
     const std::uint64_t slots = params.regionBytes / 64;
     std::uint8_t *buf = ctx.scratch(params.depth * params.blockSize);
     std::uint64_t cas_result = 0;

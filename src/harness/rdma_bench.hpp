@@ -25,6 +25,8 @@ struct RdmaBenchParams
     sim::Time warmupNs = sim::msec(1);
     sim::Time measureNs = sim::msec(4);
     std::uint64_t regionBytes = 1ull << 30; ///< random-access footprint
+    /** Workload RNG seed (from BenchCli --seed); 0 = default stream. */
+    std::uint64_t seed = 0;
 };
 
 /** Results of one micro-benchmark run. */

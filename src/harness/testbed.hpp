@@ -16,6 +16,7 @@
 
 #include "memblade/memory_blade.hpp"
 #include "rnic/rnic_config.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -84,6 +85,18 @@ class Testbed
     /** @return the built-in tracer (nullptr unless traceSampleNs > 0). */
     sim::Tracer *tracer() { return tracer_.get(); }
 
+    /**
+     * Lazily create (and install) the cluster's fault-injection plane.
+     * Never called => no plane installed => zero overhead anywhere.
+     */
+    sim::FaultPlane &
+    faultPlane(std::uint64_t seed = 0x5eedfa17)
+    {
+        if (!faultPlane_)
+            faultPlane_ = std::make_unique<sim::FaultPlane>(sim_, seed);
+        return *faultPlane_;
+    }
+
     /** Snapshot every registered metric at the current virtual time. */
     sim::MetricsSnapshot
     snapshot() const
@@ -115,6 +128,8 @@ class Testbed
     sim::Simulator sim_;
     std::vector<std::unique_ptr<memblade::MemoryBlade>> memBlades_;
     std::vector<std::unique_ptr<SmartRuntime>> computeBlades_;
+    // Declared after sim_: the plane unregisters from it on destruction.
+    std::unique_ptr<sim::FaultPlane> faultPlane_;
     // Declared last: sampling coroutine references members above.
     std::unique_ptr<sim::Tracer> tracer_;
 };

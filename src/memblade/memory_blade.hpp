@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "rnic/rnic.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace smart::memblade {
@@ -24,8 +25,14 @@ namespace smart::memblade {
  * One memory blade: owns real host bytes, an RNIC, and the registration.
  * Memory blades never post work requests; they only respond (paper §4.1:
  * no per-thread resources are needed on the blade side).
+ *
+ * The blade is a fault target under its bare name ("mb0"): a Crash takes
+ * the blade (and its RNIC) down; restart models NVM-backed memory — the
+ * bytes survive, but the region must be re-registered, so every rkey
+ * clients cached goes stale. Non-crash fault kinds are delegated to the
+ * blade's RNIC.
  */
-class MemoryBlade
+class MemoryBlade : public sim::FaultTarget
 {
   public:
     MemoryBlade(sim::Simulator &sim, const rnic::RnicConfig &cfg,
@@ -40,9 +47,14 @@ class MemoryBlade
         rnic_.sim().metrics().registerGauge(
             this, "memblade.free_bytes", {{"blade", rnic_.name()}},
             [this] { return static_cast<double>(freeBytes()); });
+        rnic_.sim().addFaultTarget(this);
     }
 
-    ~MemoryBlade() { rnic_.sim().metrics().unregisterOwner(this); }
+    ~MemoryBlade()
+    {
+        rnic_.sim().removeFaultTarget(this);
+        rnic_.sim().metrics().unregisterOwner(this);
+    }
 
     MemoryBlade(const MemoryBlade &) = delete;
     MemoryBlade &operator=(const MemoryBlade &) = delete;
@@ -84,12 +96,71 @@ class MemoryBlade
     /** @return bytes still unallocated. */
     std::uint64_t freeBytes() const { return size_ - brk_; }
 
+    /** ---- Fault-target interface (see sim/fault.hpp) ---- */
+    const std::string &faultTargetName() const override
+    {
+        return rnic_.name();
+    }
+
+    void
+    applyFault(sim::FaultKind kind, sim::Time duration) override
+    {
+        if (kind == sim::FaultKind::Crash)
+            crash(duration);
+        else
+            rnic_.applyFault(kind, duration);
+    }
+
+    bool faultedNow() const override { return crashed_; }
+
+    /**
+     * Power the blade off. Accesses fail with RetryExceeded until
+     * restart(); @p down_for > 0 schedules the restart automatically,
+     * 0 leaves the blade down until restart() is called by hand.
+     */
+    void
+    crash(sim::Time down_for = 0)
+    {
+        if (crashed_)
+            return;
+        crashed_ = true;
+        rnic_.setDown(true);
+        if (down_for > 0)
+            rnic_.sim().schedule(down_for, [this] { restart(); });
+    }
+
+    /**
+     * Power the blade back on. The memory is NVM: its bytes survive the
+     * outage. The RNIC's registration state does not — the region is
+     * re-registered under a fresh rkey and every stale rkey now NAKs
+     * with RemoteAccessError, which is how clients learn to re-fetch it.
+     */
+    void
+    restart()
+    {
+        if (!crashed_)
+            return;
+        rnic_.invalidateMr(mr_->rkey);
+        mr_ = &rnic_.registerMemory(memory_.get(), size_);
+        rnic_.setDown(false);
+        crashed_ = false;
+        ++incarnation_;
+    }
+
+    /** @return true while crashed. */
+    bool crashed() const { return crashed_; }
+
+    /** @return number of completed crash/restart cycles. */
+    std::uint64_t incarnation() const { return incarnation_; }
+
   private:
     rnic::Rnic rnic_;
     std::uint64_t size_;
     std::unique_ptr<std::uint8_t[]> memory_;
     const rnic::MrRecord *mr_;
     std::uint64_t brk_ = 64; // offset 0 reserved as a null-like sentinel
+    bool crashed_ = false;
+    std::uint64_t incarnation_ = 0;
 };
 
 /**

@@ -5,15 +5,34 @@
 
 #include "rnic/rnic.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 
 namespace smart::rnic {
 
 using sim::Task;
 using sim::Time;
 
+const char *
+wcStatusName(WcStatus s)
+{
+    switch (s) {
+    case WcStatus::Success:
+        return "success";
+    case WcStatus::RemoteAccessError:
+        return "remote_access_error";
+    case WcStatus::RetryExceeded:
+        return "retry_exceeded";
+    case WcStatus::FlushedInError:
+        return "flushed_in_error";
+    }
+    return "unknown";
+}
+
 Rnic::Rnic(sim::Simulator &sim, const RnicConfig &cfg, std::string name)
     : sim_(sim), cfg_(cfg), name_(std::move(name)),
+      faultName_(name_ + ".rnic"),
       pipeline_(sim, 1, name_ + ".pipe"),
       atomicUnits_(sim, cfg.atomicUnits, name_ + ".atomic"),
       dmaEngines_(sim, cfg.dmaEngines, name_ + ".dma"),
@@ -29,11 +48,48 @@ Rnic::Rnic(sim::Simulator &sim, const RnicConfig &cfg, std::string name)
     m.registerCounter(this, "rnic.wqe_misses", labels, &wqeMisses_);
     m.registerGauge(this, "rnic.owr_now", labels,
                     [this] { return static_cast<double>(owrNow_); });
+    m.registerCounter(this, "rnic.wr_errors", labels, &wrErrors_);
+    sim_.addFaultTarget(this);
 }
 
 Rnic::~Rnic()
 {
+    sim_.removeFaultTarget(this);
     sim_.metrics().unregisterOwner(this);
+}
+
+void
+Rnic::applyFault(sim::FaultKind kind, sim::Time duration)
+{
+    switch (kind) {
+    case sim::FaultKind::CompletionError:
+        ++pendingCompletionErrors_;
+        break;
+    case sim::FaultKind::NicStall:
+        stallUntil_ = std::max(stallUntil_, sim_.now() + duration);
+        break;
+    case sim::FaultKind::RnicReset:
+        // Firmware reset: in-flight WRs flush in error (epoch mismatch
+        // at completion time) and bound QPs must walk back to RTS. The
+        // device absorbs no new doorbells while re-initializing.
+        ++epoch_;
+        stallUntil_ = std::max(stallUntil_, sim_.now() + cfg_.qpModifyNs);
+        break;
+    case sim::FaultKind::Crash:
+        setDown(true);
+        if (duration > 0)
+            sim_.schedule(duration, [this] { setDown(false); });
+        break;
+    }
+}
+
+void
+Rnic::completeError(const WorkReq &wr, WcStatus status)
+{
+    wrErrors_.add();
+    --owrNow_;
+    if (wr.sink != nullptr)
+        wr.sink->complete(wr, 0, status);
 }
 
 const MrRecord &
@@ -66,9 +122,21 @@ Rnic::dramBytesPerWr() const
 void
 Rnic::postBatch(Rnic *target, std::vector<WorkReq> batch)
 {
-    for (WorkReq &wr : batch)
+    for (WorkReq &wr : batch) {
         wr.uid = nextUid_++;
+        wr.initEpoch = epoch_;
+    }
     owrNow_ += batch.size();
+    if (stallUntil_ > sim_.now()) {
+        // Stalled NIC: the doorbell write posts, but the device fetches
+        // nothing until the stall lifts. (EventQueue callbacks must be
+        // copyable, hence the shared_ptr around the move-only batch.)
+        auto held = std::make_shared<std::vector<WorkReq>>(std::move(batch));
+        sim_.scheduleAt(stallUntil_, [this, target, held] {
+            sim_.spawnDetached(processBatch(target, std::move(*held)));
+        });
+        return;
+    }
     sim_.spawnDetached(processBatch(target, std::move(batch)));
 }
 
@@ -150,6 +218,14 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     if (wr.localBuf != nullptr)
         co_await translate(wr.localTransKey);
 
+    // Unreachable responder (crashed blade): the transport retries for
+    // its timeout budget, then completes the WR in error.
+    if (target == nullptr || target->down_) {
+        co_await sim_.delay(cfg_.transportRetryNs);
+        completeError(wr, WcStatus::RetryExceeded);
+        co_return;
+    }
+
     // ---- Request over the wire ----
     std::uint32_t req_bytes = cfg_.headerBytes;
     if (wr.op == Op::Write)
@@ -161,15 +237,26 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     co_await sendTo(*target, req_bytes);
 
     // ---- Responder ----
+    if (target->down_) {
+        // Crashed while the request was in flight: no ACK ever comes.
+        co_await sim_.delay(cfg_.transportRetryNs);
+        completeError(wr, WcStatus::RetryExceeded);
+        co_return;
+    }
     target->perf_.wrsServed.add();
     co_await target->pipeline_.acquire();
     co_await sim_.delay(cfg_.pipeResponderNs);
     target->pipeline_.release();
 
     const MrRecord *mr = target->findMr(wr.rkey);
-    assert(mr != nullptr && "bad rkey");
-    assert(wr.remoteOffset + wr.length <= mr->length &&
-           "remote access out of bounds");
+    if (mr == nullptr || wr.remoteOffset + wr.length > mr->length) {
+        // Invalid rkey (e.g. the MR was re-registered after a blade
+        // restart) or out-of-bounds access: the responder NAKs and the
+        // initiator sees an error CQE.
+        co_await target->sendTo(*this, cfg_.headerBytes);
+        completeError(wr, WcStatus::RemoteAccessError);
+        co_return;
+    }
     std::uint8_t *remote = mr->base + wr.remoteOffset;
     co_await target->translate(transKey(mr->id, wr.remoteOffset));
 
@@ -227,6 +314,23 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     co_await target->sendTo(*this, resp_bytes);
 
     // ---- Initiator completion ----
+    if (down_ || epoch_ != wr.initEpoch) {
+        // The initiating device reset/crashed under this WR: its QP is
+        // gone, so the response is dropped and the WR flushes in error.
+        completeError(wr, WcStatus::FlushedInError);
+        co_return;
+    }
+    if (pendingCompletionErrors_ > 0) {
+        --pendingCompletionErrors_;
+        completeError(wr, WcStatus::RemoteAccessError);
+        co_return;
+    }
+    if (completionErrorProb_ > 0.0 && faultRng_ != nullptr &&
+        faultRng_->uniformDouble() < completionErrorProb_) {
+        completeError(wr, WcStatus::RemoteAccessError);
+        co_return;
+    }
+
     bool wqe_hit = rng_.uniformDouble() < wqeHitProb();
     if (wqe_hit) {
         wqeHits_.add();
@@ -263,7 +367,7 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     perf_.wrsCompleted.add();
     --owrNow_;
     if (wr.sink != nullptr)
-        wr.sink->complete(wr, old_value);
+        wr.sink->complete(wr, old_value, WcStatus::Success);
 }
 
 } // namespace smart::rnic

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "rnic/cache_model.hpp"
+#include "sim/fault.hpp"
 #include "sim/random.hpp"
 #include "rnic/perf_counters.hpp"
 #include "rnic/rnic_config.hpp"
@@ -33,6 +34,21 @@ namespace smart::rnic {
 
 /** One-sided verb opcodes supported by the model. */
 enum class Op : std::uint8_t { Read, Write, Cas, Faa };
+
+/** CQE status, mirroring the ibverbs wc_status values we model. */
+enum class WcStatus : std::uint8_t
+{
+    Success,
+    /** Responder NAK: invalid rkey or out-of-bounds access. */
+    RemoteAccessError,
+    /** Transport retry budget exhausted (unreachable responder). */
+    RetryExceeded,
+    /** QP left RTS (error state / device reset) with the WR queued. */
+    FlushedInError,
+};
+
+/** @return a short stable name for @p s (logs, test diagnostics). */
+const char *wcStatusName(WcStatus s);
 
 class Rnic;
 struct WorkReq;
@@ -47,8 +63,11 @@ class CompletionSink
      * Called exactly once per work request when its CQE lands.
      * @param wr the completed request
      * @param oldValue prior memory value for CAS/FAA (0 otherwise)
+     * @param status Success, or why the WR failed; on failure the local
+     *        buffer is NOT written (partial results never land)
      */
-    virtual void complete(const WorkReq &wr, std::uint64_t oldValue) = 0;
+    virtual void complete(const WorkReq &wr, std::uint64_t oldValue,
+                          WcStatus status) = 0;
 };
 
 /** A registered memory region record (the MPT entry). */
@@ -83,13 +102,28 @@ struct WorkReq
      * per-thread refetch counts the aggregate RNIC counter cannot.
      */
     sim::Counter *wqeMissCounter = nullptr;
+    /**
+     * Opaque retry-policy cookie: identifies this WR within its issuing
+     * SmartCtx sync round so failed WRs can be re-staged individually.
+     */
+    std::uint64_t appTag = 0;
+    /** Sync-round epoch; CQEs from abandoned rounds are ignored. */
+    std::uint32_t syncEpoch = 0;
+    /** Initiator device epoch at post time (set by postBatch); a
+     *  mismatch at completion means the RNIC reset under the WR. */
+    std::uint64_t initEpoch = 0;
 };
 
 /**
  * The RNIC model. All latencies/capacities come from RnicConfig; see
  * DESIGN.md §5 for the calibration rationale.
+ *
+ * The device is also a fault target (name "<blade>.rnic"): it absorbs
+ * injected completion errors, doorbell stalls, resets and crash windows
+ * from an installed FaultPlane. All fault state defaults to "healthy",
+ * so runs without a plane take the exact same paths as before.
  */
-class Rnic
+class Rnic : public sim::FaultTarget
 {
   public:
     Rnic(sim::Simulator &sim, const RnicConfig &cfg, std::string name);
@@ -159,6 +193,46 @@ class Rnic
     const MrRecord *findMr(std::uint32_t rkey) const;
 
     /**
+     * Drop the MPT entry for @p rkey. Accesses with the stale rkey then
+     * complete with RemoteAccessError (blade restart semantics).
+     */
+    void invalidateMr(std::uint32_t rkey) { mrs_.erase(rkey); }
+
+    /** ---- Fault-target interface (see sim/fault.hpp) ---- */
+    const std::string &faultTargetName() const override
+    {
+        return faultName_;
+    }
+    void applyFault(sim::FaultKind kind, sim::Time duration) override;
+    void setInjectedErrorRate(double per_op_prob, sim::Rng *rng) override
+    {
+        completionErrorProb_ = per_op_prob;
+        faultRng_ = rng;
+    }
+    bool faultedNow() const override
+    {
+        return down_ || sim_.now() < stallUntil_;
+    }
+
+    /**
+     * Power the device down/up. Going up bumps the device epoch so WRs
+     * and QPs from before the outage flush in error / must reconnect.
+     */
+    void
+    setDown(bool down)
+    {
+        if (down_ && !down)
+            ++epoch_;
+        down_ = down;
+    }
+
+    /** @return true while crashed/powered down. */
+    bool down() const { return down_; }
+
+    /** @return device epoch; bumped by resets and crash recoveries. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /**
      * Reserve the ICM footprint for a new device context.
      * @return the context's ICM base key
      */
@@ -206,9 +280,13 @@ class Rnic
     /** Touch the MTT/MPT cache; on miss pay refetch pipeline+latency. */
     sim::Task translate(std::uint64_t key);
 
+    /** Deliver an error CQE for @p wr (no payload lands). */
+    void completeError(const WorkReq &wr, WcStatus status);
+
     sim::Simulator &sim_;
     RnicConfig cfg_;
     std::string name_;
+    std::string faultName_;
 
     sim::Resource pipeline_;
     sim::Resource atomicUnits_;
@@ -223,6 +301,15 @@ class Rnic
     sim::Counter wqeHits_;
     sim::Counter wqeMisses_;
     sim::Rng rng_;
+
+    // Fault state (defaults = healthy; only a FaultPlane mutates these).
+    bool down_ = false;
+    std::uint64_t epoch_ = 0;
+    sim::Time stallUntil_ = 0;
+    std::uint64_t pendingCompletionErrors_ = 0;
+    double completionErrorProb_ = 0.0;
+    sim::Rng *faultRng_ = nullptr;
+    sim::Counter wrErrors_;
 
     PerfCounters perf_;
 

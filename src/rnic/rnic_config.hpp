@@ -130,6 +130,17 @@ struct RnicConfig
     // ---- Persistent memory (FORD experiments) ----
     /** Extra latency for writes that must persist to NVM at the blade. */
     Time nvmPersistNs = 300;
+
+    // ---- Fault / recovery model ----
+    /**
+     * Transport-level retry budget before an unreachable responder turns
+     * into a RetryExceeded completion (IB retry_cnt x local_ack_timeout,
+     * collapsed into one delay).
+     */
+    Time transportRetryNs = 20'000;
+    /** Cost of one QP state transition (ibv_modify_qp); a full
+     *  Reset->Init->RTR->RTS reconnect pays three of these. */
+    Time qpModifyNs = 2'000;
 };
 
 } // namespace smart::rnic

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * FaultPlane implementation.
+ */
+
+#include "sim/fault.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace smart::sim {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::CompletionError:
+        return "completion_error";
+    case FaultKind::NicStall:
+        return "nic_stall";
+    case FaultKind::RnicReset:
+        return "rnic_reset";
+    case FaultKind::Crash:
+        return "crash";
+    }
+    return "unknown";
+}
+
+FaultPlane::FaultPlane(Simulator &sim, std::uint64_t seed)
+    : sim_(sim), rng_(seed, 0xfa017c0de5eedULL)
+{
+    assert(sim_.faultPlane() == nullptr &&
+           "one fault plane per simulator");
+    sim_.installFaultPlane(this);
+    sim_.metrics().registerCounter(this, "smart.fault.injected", {},
+                                   &injected_);
+    sim_.metrics().registerGauge(this, "smart.fault.targets_down", {},
+                                 [this] {
+                                     double down = 0;
+                                     for (const FaultTarget *t :
+                                          sim_.faultTargets())
+                                         if (t->faultedNow())
+                                             ++down;
+                                     return down;
+                                 });
+}
+
+FaultPlane::~FaultPlane()
+{
+    sim_.metrics().unregisterOwner(this);
+    sim_.installFaultPlane(nullptr);
+}
+
+FaultTarget *
+FaultPlane::find(const std::string &name) const
+{
+    for (FaultTarget *t : sim_.faultTargets())
+        if (t->faultTargetName() == name)
+            return t;
+    return nullptr;
+}
+
+void
+FaultPlane::fire(FaultKind kind, const std::string &target, Time duration)
+{
+    FaultTarget *t = find(target);
+    assert(t != nullptr && "fault schedule names an unknown target");
+    if (t == nullptr)
+        return;
+    injected_.add();
+    fired_.push_back({sim_.now(), kind, target});
+    t->applyFault(kind, duration);
+}
+
+void
+FaultPlane::inject(FaultKind kind, const std::string &target, Time duration)
+{
+    fire(kind, target, duration);
+}
+
+void
+FaultPlane::oneShot(Time at, FaultKind kind, std::string target,
+                    Time duration)
+{
+    sim_.scheduleAt(at, [this, kind, target = std::move(target),
+                         duration] { fire(kind, target, duration); });
+}
+
+void
+FaultPlane::schedulePeriodic(Time at, Time period, FaultKind kind,
+                             std::string target, Time duration)
+{
+    sim_.scheduleAt(at, [this, period, kind, target = std::move(target),
+                         duration] {
+        fire(kind, target, duration);
+        schedulePeriodic(sim_.now() + period, period, kind, target,
+                         duration);
+    });
+}
+
+void
+FaultPlane::periodic(Time first, Time period, FaultKind kind,
+                     std::string target, Time duration)
+{
+    assert(period > 0);
+    schedulePeriodic(first, period, kind, std::move(target), duration);
+}
+
+void
+FaultPlane::probabilistic(const std::string &target, double per_op_prob)
+{
+    FaultTarget *t = find(target);
+    assert(t != nullptr && "probabilistic fault names an unknown target");
+    if (t == nullptr)
+        return;
+    t->setInjectedErrorRate(per_op_prob,
+                            per_op_prob > 0 ? &rng_ : nullptr);
+}
+
+} // namespace smart::sim

@@ -19,6 +19,9 @@
 
 namespace smart::sim {
 
+class FaultPlane;
+class FaultTarget;
+
 /**
  * Owns the virtual clock and the event queue, and keeps root coroutines
  * alive. The whole simulated cluster runs inside one Simulator on a single
@@ -140,11 +143,39 @@ class Simulator
     MetricsRegistry &metrics() { return metrics_; }
     const MetricsRegistry &metrics() const { return metrics_; }
 
+    /**
+     * The installed fault plane, or nullptr for a healthy simulation.
+     * Upper layers key their retry/timeout machinery off this being
+     * non-null, so a plane-free run pays no extra events or RNG draws.
+     */
+    FaultPlane *faultPlane() const { return fault_; }
+
+    /** Called by FaultPlane's constructor/destructor. */
+    void installFaultPlane(FaultPlane *p) { fault_ = p; }
+
+    /** Components that can absorb faults register here (see fault.hpp). */
+    void addFaultTarget(FaultTarget *t) { faultTargets_.push_back(t); }
+
+    /** Remove @p t from the target registry (component destruction). */
+    void
+    removeFaultTarget(FaultTarget *t)
+    {
+        std::erase(faultTargets_, t);
+    }
+
+    /** @return all registered fault targets, in registration order. */
+    const std::vector<FaultTarget *> &faultTargets() const
+    {
+        return faultTargets_;
+    }
+
   private:
     EventQueue events_;
     Time now_ = 0;
     std::vector<std::unique_ptr<Task>> rootTasks_;
     MetricsRegistry metrics_;
+    FaultPlane *fault_ = nullptr;
+    std::vector<FaultTarget *> faultTargets_;
 };
 
 } // namespace smart::sim

@@ -79,6 +79,21 @@ struct SmartConfig
     /** Per-coroutine local scratch buffer bytes. */
     std::uint32_t scratchBytesPerCoro = 8192;
 
+    // ---- Verb-level failure policy (active only under a FaultPlane) ----
+    /**
+     * How many times a sync round re-posts failed work requests (with
+     * truncated-exponential spacing and transparent QP reconnects)
+     * before SmartCtx surfaces a typed VerbError to the application.
+     */
+    std::uint32_t maxVerbRetries = 8;
+    /**
+     * Per-sync timeout: a round whose completions never arrive is
+     * abandoned and its WRs treated as failed. Only armed when a
+     * FaultPlane is installed, so healthy runs schedule no extra
+     * events. 0 disables timeouts even under faults.
+     */
+    sim::Time verbTimeoutNs = sim::msec(1);
+
     // ---- Fluent builder: chainable tweaks over a preset ----
 
     /** Set the QP/doorbell allocation policy. */
@@ -128,6 +143,15 @@ struct SmartConfig
     withCoros(std::uint32_t n)
     {
         corosPerThread = n;
+        return *this;
+    }
+
+    /** Set the verb retry budget and per-sync timeout (fault runs). */
+    SmartConfig &
+    withVerbRetryPolicy(std::uint32_t max_retries, sim::Time timeout_ns)
+    {
+        maxVerbRetries = max_retries;
+        verbTimeoutNs = timeout_ns;
         return *this;
     }
 

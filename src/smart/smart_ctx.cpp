@@ -13,11 +13,26 @@ namespace smart {
 using sim::Task;
 using sim::Time;
 
+const char *
+verbErrorKindName(VerbError::Kind k)
+{
+    switch (k) {
+    case VerbError::Kind::None:
+        return "none";
+    case VerbError::Kind::RetriesExhausted:
+        return "retries_exhausted";
+    case VerbError::Kind::Timeout:
+        return "timeout";
+    }
+    return "unknown";
+}
+
 SmartCtx::SmartCtx(SmartRuntime &rt, std::uint32_t tid,
                    std::uint32_t coro_idx)
     : rt_(rt), thr_(rt.thread(tid)), coroIdx_(coro_idx)
 {
     syncState_.thread = &thr_;
+    syncState_.ctx = this;
     scratchBase_ = rt_.scratchFor(tid, coro_idx, scratchTransKey_);
     scratchSize_ = rt_.config().scratchBytesPerCoro;
 }
@@ -52,6 +67,13 @@ SmartCtx::stage(const RemotePtr &p, rnic::WorkReq wr)
     wr.remoteOffset = p.offset;
     wr.localTransKey = scratchTransKey_;
     wr.wrId = reinterpret_cast<std::uint64_t>(&syncState_);
+    if (rt_.sim().faultPlane() != nullptr) {
+        // Track the WR so an error completion can re-stage it. Off the
+        // fault path this costs nothing (appTag stays 0, no copies).
+        wr.appTag = nextAppTag_++;
+        wr.syncEpoch = syncState_.epoch;
+        inflight_.push_back({idx, wr});
+    }
     // Ops stage into the *thread-local* WR buffer (§5.1): a later flush
     // posts sibling coroutines' requests together under one doorbell.
     ++syncState_.pending;
@@ -129,9 +151,17 @@ SmartCtx::postSend()
 }
 
 Task
-SmartCtx::sync()
+SmartCtx::awaitRound()
 {
     if (syncState_.pending > 0) {
+        const SmartConfig &cfg = rt_.config();
+        if (rt_.sim().faultPlane() != nullptr && cfg.verbTimeoutNs > 0) {
+            // Arm the verb timeout for this round. armId_ is bumped on
+            // normal completion, so a late firing is a no-op.
+            std::uint64_t arm = ++armId_;
+            rt_.sim().schedule(cfg.verbTimeoutNs,
+                               [this, arm] { onSyncTimeout(arm); });
+        }
         // Park until the dispatch path counts this coroutine's last CQE.
         struct Awaiter
         {
@@ -145,12 +175,142 @@ SmartCtx::sync()
             void await_resume() const noexcept {}
         };
         co_await Awaiter{syncState_};
+        ++armId_;
     }
     // Pay the polling costs for the CQEs consumed on our behalf.
     if (syncState_.sinceCharge > 0) {
         std::uint32_t n = syncState_.sinceCharge;
         syncState_.sinceCharge = 0;
         co_await rt_.cqFor(thr_.id()).chargePoll(thr_.simThread(), n);
+    }
+}
+
+void
+SmartCtx::onSyncTimeout(std::uint64_t arm_id)
+{
+    if (arm_id != armId_ || syncState_.done)
+        return;
+    // The round's completions never arrived (e.g. the CQE path itself is
+    // wedged). Abandon the round: bump the epoch so stragglers are
+    // ignored, and hand every still-in-flight WR to the retry set.
+    timedOut_ = true;
+    thr_.verbTimeouts.add();
+    ++syncState_.epoch;
+    for (TrackedWr &t : inflight_)
+        failed_.push_back(std::move(t));
+    inflight_.clear();
+    syncState_.pending = 0;
+    syncState_.done = true;
+    if (syncState_.waiter) {
+        std::coroutine_handle<> h = syncState_.waiter;
+        syncState_.waiter = {};
+        rt_.sim().post(h);
+    }
+}
+
+void
+SmartCtx::noteWrCompletion(const rnic::WorkReq &wr, rnic::WcStatus status)
+{
+    if (status == rnic::WcStatus::Success) {
+        if (!inflight_.empty()) {
+            for (std::size_t i = 0; i < inflight_.size(); ++i) {
+                if (inflight_[i].wr.appTag == wr.appTag) {
+                    inflight_[i] = std::move(inflight_.back());
+                    inflight_.pop_back();
+                    break;
+                }
+            }
+        }
+        return;
+    }
+    thr_.wrErrors.add();
+    lastFailStatus_ = status;
+    for (std::size_t i = 0; i < inflight_.size(); ++i) {
+        if (inflight_[i].wr.appTag == wr.appTag) {
+            failed_.push_back(std::move(inflight_[i]));
+            inflight_[i] = std::move(inflight_.back());
+            inflight_.pop_back();
+            return;
+        }
+    }
+    // Failure with no tracked record (plane installed mid-flight):
+    // cannot re-stage, so sync() surfaces the error without retrying.
+    ++failedUntracked_;
+}
+
+void
+SmartCtx::restage(TrackedWr t)
+{
+    // The blade may have restarted since the WR was built: re-resolve
+    // the region key so the retry addresses the *current* registration.
+    t.wr.rkey = rt_.bladeRkey(t.blade);
+    t.wr.syncEpoch = syncState_.epoch;
+    ++syncState_.pending;
+    syncState_.done = false;
+    inflight_.push_back(t);
+    thr_.stageWr(t.blade, t.wr);
+    if (stagedBlades_.size() <= t.blade)
+        stagedBlades_.resize(t.blade + 1, false);
+    stagedBlades_[t.blade] = true;
+}
+
+Task
+SmartCtx::sync()
+{
+    co_await awaitRound();
+    bool timed_out = timedOut_;
+    timedOut_ = false;
+    if (failed_.empty() && failedUntracked_ == 0) [[likely]]
+        co_return;
+
+    // Failure policy: re-post failed WRs with truncated-exponential
+    // spacing (reusing the §4.3 backoff machinery), transparently
+    // reconnecting QPs the device reset under. Only after the retry
+    // budget is spent does the application see a typed VerbError.
+    const SmartConfig &cfg = rt_.config();
+    if (failedUntracked_ > 0) {
+        failedUntracked_ = 0;
+        failed_.clear();
+        thr_.verbExhausted.add();
+        error_ = {timed_out ? VerbError::Kind::Timeout
+                            : VerbError::Kind::RetriesExhausted,
+                  lastFailStatus_};
+        co_return;
+    }
+    std::uint32_t attempt = 0;
+    while (!failed_.empty()) {
+        if (attempt >= cfg.maxVerbRetries) {
+            failed_.clear();
+            thr_.verbExhausted.add();
+            error_ = {timed_out ? VerbError::Kind::Timeout
+                                : VerbError::Kind::RetriesExhausted,
+                      lastFailStatus_};
+            co_return;
+        }
+        thr_.verbRetries.add();
+        std::uint64_t cycles = backoffCycles(
+            cfg.backoffUnitCycles,
+            cfg.backoffUnitCycles * cfg.backoffMaxFactor, attempt,
+            thr_.rng());
+        ++attempt;
+        co_await sim().delay(sim::cyclesToNs(cycles));
+
+        // New round: stragglers of the old one only return credits.
+        ++syncState_.epoch;
+        std::vector<TrackedWr> batch = std::move(failed_);
+        failed_.clear();
+        for (TrackedWr &t : batch) {
+            verbs::Qp &qp = rt_.qpFor(thr_.id(), t.blade);
+            if (qp.needsReconnect()) {
+                thr_.qpReconnects.add();
+                co_await qp.reconnect(thr_.simThread());
+            }
+            restage(std::move(t));
+        }
+        co_await postSend();
+        co_await awaitRound();
+        timed_out = timed_out || timedOut_;
+        timedOut_ = false;
     }
 }
 
@@ -175,12 +335,15 @@ SmartCtx::casSync(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
                   std::uint64_t &old_value, bool &success)
 {
     thr_.casAttempts.add();
-    std::uint64_t result = 0;
-    cas(dst, expect, desired, &result);
+    // The old value lands in a SmartCtx member, not a frame local: a WR
+    // orphaned by the verb timeout may complete after this frame died,
+    // and its landing buffer must outlive the round.
+    casLanding_ = 0;
+    cas(dst, expect, desired, &casLanding_);
     co_await postSend();
     co_await sync();
-    old_value = result;
-    success = (result == expect);
+    old_value = casLanding_;
+    success = !failed() && (casLanding_ == expect);
     if (!success)
         thr_.casFails.add();
 }
@@ -219,6 +382,8 @@ SmartCtx::compute(Time d)
 Task
 SmartCtx::opBegin()
 {
+    // Each application op starts with a clean failure slate.
+    clearError();
     co_await thr_.coroGate().acquire();
 }
 

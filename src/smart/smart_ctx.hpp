@@ -21,8 +21,42 @@
 namespace smart {
 
 /**
+ * Typed verb failure surfaced to applications after SmartCtx's retry
+ * policy gives up. kind == None means "no error" (the common case).
+ */
+struct VerbError
+{
+    enum class Kind : std::uint8_t
+    {
+        None,
+        /** maxVerbRetries re-posts all failed. */
+        RetriesExhausted,
+        /** A sync round was abandoned by the verb timeout and its
+         *  retries then failed too. */
+        Timeout,
+    };
+
+    Kind kind = Kind::None;
+    /** Status of the last failed completion. */
+    rnic::WcStatus status = rnic::WcStatus::Success;
+
+    explicit operator bool() const { return kind != Kind::None; }
+};
+
+/** @return a short stable name for @p k. */
+const char *verbErrorKindName(VerbError::Kind k);
+
+/**
  * Handle held by one application coroutine. Not thread-safe (it belongs
  * to exactly one coroutine, which belongs to exactly one thread).
+ *
+ * Failure semantics: with a FaultPlane installed, every staged WR is
+ * tracked; error completions are transparently retried (bounded by
+ * SmartConfig::maxVerbRetries, spaced by backoff.hpp's truncated
+ * exponential, with QP reconnects and rkey refreshes in between) and a
+ * typed VerbError is surfaced through failed()/lastError() only when
+ * the budget is exhausted. Without a plane, none of this bookkeeping
+ * runs and the staging hot path is unchanged.
  */
 class SmartCtx
 {
@@ -101,7 +135,46 @@ class SmartCtx
     /** Consecutive failed-CAS streak (drives the backoff exponent). */
     std::uint32_t casFailStreak() const { return casFailStreak_; }
 
+    // ---- failure surface ----
+
+    /** @return true if the last sync() gave up after retries. */
+    bool failed() const { return error_.kind != VerbError::Kind::None; }
+
+    /** @return the surfaced error (kind None when healthy). */
+    const VerbError &lastError() const { return error_; }
+
+    /** Acknowledge the error so the next operation starts clean. */
+    void clearError() { error_ = VerbError{}; }
+
+    /**
+     * Completion bookkeeping, called from the CQE dispatch path (not an
+     * application API). Success drops the in-flight record; a failure
+     * moves it to the retry set that sync() drains.
+     */
+    void noteWrCompletion(const rnic::WorkReq &wr, rnic::WcStatus status);
+
   private:
+    friend class SmartRuntime;
+
+    /** One tracked WR: enough to re-stage it on failure. */
+    struct TrackedWr
+    {
+        std::uint32_t blade = 0;
+        rnic::WorkReq wr;
+    };
+
+    std::uint32_t bladeIndexOf(const RemotePtr &p) const;
+    void stage(const RemotePtr &p, rnic::WorkReq wr);
+
+    /** Park until the current round completes (or times out). */
+    sim::Task awaitRound();
+
+    /** Verb timeout callback; @p arm_id guards against stale firings. */
+    void onSyncTimeout(std::uint64_t arm_id);
+
+    /** Re-stage @p t into the (bumped) current round, rkey refreshed. */
+    void restage(TrackedWr t);
+
     SmartRuntime &rt_;
     SmartThread &thr_;
     std::uint32_t coroIdx_;
@@ -115,9 +188,18 @@ class SmartCtx
     std::uint32_t scratchPos_ = 0;
 
     std::uint32_t casFailStreak_ = 0;
+    /** Landing slot for casSync (must outlive abandoned rounds). */
+    std::uint64_t casLanding_ = 0;
 
-    std::uint32_t bladeIndexOf(const RemotePtr &p) const;
-    void stage(const RemotePtr &p, rnic::WorkReq wr);
+    // ---- failure tracking (populated only under a FaultPlane) ----
+    std::vector<TrackedWr> inflight_;
+    std::vector<TrackedWr> failed_;
+    std::uint64_t nextAppTag_ = 1;
+    std::uint64_t armId_ = 0;
+    bool timedOut_ = false;
+    std::uint64_t failedUntracked_ = 0;
+    rnic::WcStatus lastFailStatus_ = rnic::WcStatus::Success;
+    VerbError error_;
 };
 
 } // namespace smart

@@ -40,6 +40,13 @@ SmartThread::SmartThread(SmartRuntime &rt, std::uint32_t id)
                       &doorbellRings);
     m.registerCounter(this, "smart.thread.wqe_refetches", labels,
                       &wqeRefetches);
+    m.registerCounter(this, "smart.fault.wr_errors", labels, &wrErrors);
+    m.registerCounter(this, "smart.retry.attempts", labels, &verbRetries);
+    m.registerCounter(this, "smart.retry.timeouts", labels, &verbTimeouts);
+    m.registerCounter(this, "smart.retry.exhausted", labels,
+                      &verbExhausted);
+    m.registerCounter(this, "smart.retry.qp_reconnects", labels,
+                      &qpReconnects);
     m.registerGauge(this, "smart.ctrl.credit_cmax", labels,
                     [this] { return static_cast<double>(cmax_); });
     m.registerGauge(this, "smart.ctrl.credit_avail", labels,
@@ -243,16 +250,25 @@ SmartRuntime::installDispatch(verbs::Cq &cq)
 }
 
 void
-SmartRuntime::dispatchCqe(const verbs::Wc &wc)
+SmartRuntime::dispatchCqe(const verbs::Wc &wc, const rnic::WorkReq &wr)
 {
     auto *state = reinterpret_cast<SyncState *>(wc.wrId);
-    assert(state != nullptr && state->pending > 0);
-    --state->pending;
-    ++state->sinceCharge;
+    assert(state != nullptr);
     SmartThread *thr = state->thread;
-    thr->completedWrs.add();
+    if (wc.status == rnic::WcStatus::Success)
+        thr->completedWrs.add();
     if (thr->runtime().config().workReqThrottle)
         thr->replenish(1);
+    if (wr.syncEpoch != state->epoch) {
+        // CQE from a round the verb timeout already abandoned: the
+        // credit above is returned, but the round's bookkeeping is gone.
+        return;
+    }
+    if (state->ctx != nullptr)
+        state->ctx->noteWrCompletion(wr, wc.status);
+    assert(state->pending > 0);
+    --state->pending;
+    ++state->sinceCharge;
     if (state->pending == 0) {
         state->done = true;
         if (state->waiter) {

@@ -45,10 +45,18 @@ struct SyncState
     std::uint32_t pending = 0;
     bool done = true;
     class SmartThread *thread = nullptr;
+    /** Owning coroutine context (failure bookkeeping lives there). */
+    SmartCtx *ctx = nullptr;
     /** Coroutine parked in sync(), resumed when pending hits zero. */
     std::coroutine_handle<> waiter{};
     /** CQEs dispatched since the owner last paid polling costs. */
     std::uint32_t sinceCharge = 0;
+    /**
+     * Sync-round epoch. A round abandoned by the verb timeout bumps
+     * this; CQEs stamped with an older epoch still replenish credits
+     * but no longer touch the round's bookkeeping.
+     */
+    std::uint32_t epoch = 0;
 };
 
 /**
@@ -203,6 +211,17 @@ class SmartThread
     sim::Counter doorbellRings;
     /** WQE-cache refetches paid by this thread's work requests. */
     sim::Counter wqeRefetches;
+    // ---- failure/retry statistics (stay zero in healthy runs) ----
+    /** Error CQEs observed by this thread's coroutines. */
+    sim::Counter wrErrors;
+    /** Verb retry rounds (failed WRs re-posted after spacing). */
+    sim::Counter verbRetries;
+    /** Sync rounds abandoned by the verb timeout. */
+    sim::Counter verbTimeouts;
+    /** Retry budgets exhausted (a typed VerbError surfaced). */
+    sim::Counter verbExhausted;
+    /** QP Reset->Init->RTR->RTS reconnects driven by retries. */
+    sim::Counter qpReconnects;
 
   private:
     friend class SmartRuntime;
@@ -335,9 +354,15 @@ class SmartRuntime
         return *bladeRnics_[idx];
     }
 
+    /** Current rkey of connected blade @p idx (fresh after restarts). */
+    std::uint32_t bladeRkey(std::uint32_t idx) const
+    {
+        return blades_[idx]->rkey();
+    }
+
     sim::Task creditEpochLoop(SmartThread &t);
     sim::Task conflictLoop(SmartThread &t);
-    static void dispatchCqe(const verbs::Wc &wc);
+    static void dispatchCqe(const verbs::Wc &wc, const rnic::WorkReq &wr);
     void installDispatch(verbs::Cq &cq);
 
     sim::Simulator &sim_;

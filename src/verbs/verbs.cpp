@@ -34,9 +34,52 @@ Cq::chargePoll(SimThread &thr, std::uint32_t ncqes)
 
 Qp::Qp(Context &ctx, Cq &cq, Rnic *target, Uar *uar)
     : ctx_(ctx), cq_(&cq), target_(target), uar_(uar),
-      qpLock_(ctx.sim(), 1, "qp")
+      qpLock_(ctx.sim(), 1, "qp"), boundEpoch_(ctx.rnic().epoch())
 {
     uar_->boundQps++;
+}
+
+bool
+Qp::stale() const
+{
+    return boundEpoch_ != ctx_.rnic().epoch();
+}
+
+Task
+Qp::reconnect(SimThread &thr)
+{
+    if (!needsReconnect())
+        co_return;
+    if (reconnecting_) {
+        // Another coroutine is already mid-handshake; ride on it.
+        struct Awaiter
+        {
+            Qp &qp;
+            bool await_ready() const noexcept { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                qp.reconnectWaiters_.push_back(h);
+            }
+            void await_resume() const noexcept {}
+        };
+        co_await Awaiter{*this};
+        co_return;
+    }
+    reconnecting_ = true;
+    const Time step = ctx_.config().qpModifyNs;
+    co_await thr.cpu().acquire();
+    state_ = QpState::Reset;
+    co_await ctx_.sim().delay(step);
+    state_ = QpState::Init;
+    co_await ctx_.sim().delay(step);
+    state_ = QpState::Rtr;
+    co_await ctx_.sim().delay(step);
+    thr.cpu().release();
+    boundEpoch_ = ctx_.rnic().epoch();
+    state_ = QpState::Rts;
+    reconnecting_ = false;
+    wakeReconnectWaiters();
 }
 
 Task
@@ -48,6 +91,18 @@ Qp::postSend(SimThread &thr, std::vector<WorkReq> wrs)
     for (WorkReq &wr : wrs) {
         wr.sink = cq_;
         wr.icmBase = ctx_.icmBase();
+    }
+
+    if (needsReconnect()) {
+        // The QP left RTS (explicit Error move or device reset): posted
+        // WRs never reach the hardware and flush in error. Waiters are
+        // resumed via sim.post, so delivering from here cannot reenter
+        // the caller.
+        if (state_ == QpState::Rts)
+            state_ = QpState::Error;
+        for (const WorkReq &wr : wrs)
+            cq_->complete(wr, 0, WcStatus::FlushedInError);
+        co_return;
     }
 
     // The whole post path runs on (and burns) the caller's CPU: building

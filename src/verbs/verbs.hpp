@@ -27,6 +27,7 @@ namespace smart::verbs {
 using rnic::Op;
 using rnic::Rnic;
 using rnic::RnicConfig;
+using rnic::WcStatus;
 using rnic::WorkReq;
 using sim::Resource;
 using sim::SimThread;
@@ -86,6 +87,7 @@ struct Wc
     std::uint64_t wrId = 0;
     Op op = Op::Read;
     std::uint64_t oldValue = 0; ///< prior memory value for CAS/FAA
+    WcStatus status = WcStatus::Success;
 };
 
 /**
@@ -98,7 +100,7 @@ struct Wc
 class Cq : public rnic::CompletionSink
 {
   public:
-    using Dispatch = std::function<void(const Wc &)>;
+    using Dispatch = std::function<void(const Wc &, const WorkReq &)>;
 
     Cq(Simulator &sim, const RnicConfig &cfg)
         : sim_(sim), cfg_(cfg), lock_(sim, 1, "cq")
@@ -110,12 +112,13 @@ class Cq : public rnic::CompletionSink
 
     /** rnic::CompletionSink: a CQE lands in host memory. */
     void
-    complete(const WorkReq &wr, std::uint64_t old_value) override
+    complete(const WorkReq &wr, std::uint64_t old_value,
+             WcStatus status) override
     {
         ++delivered_;
-        Wc wc{wr.wrId, wr.op, old_value};
+        Wc wc{wr.wrId, wr.op, old_value, status};
         if (dispatch_)
-            dispatch_(wc);
+            dispatch_(wc, wr);
         wakeAllWaiters();
     }
 
@@ -174,11 +177,19 @@ class Cq : public rnic::CompletionSink
 
 class Context;
 
+/** QP state machine (the ibv_qp_state subset the model distinguishes). */
+enum class QpState : std::uint8_t { Reset, Init, Rtr, Rts, Error };
+
 /**
  * A reliably-connected queue pair bound to one remote RNIC (memory blade).
  * postSend models the mlx5 fast path: QP spinlock, WQE writes, UAR
  * spinlock, doorbell MMIO — with contention penalties that grow with the
  * number of concurrent spinners (cache-line bouncing).
+ *
+ * QPs start in RTS (createQp models the whole connect handshake). When
+ * the local device resets or the QP is moved to Error, posted WRs flush
+ * with WcStatus::FlushedInError until reconnect() walks the
+ * Reset->Init->RTR->RTS path again.
  */
 class Qp
 {
@@ -188,9 +199,36 @@ class Qp
     /**
      * Post a batch of work requests and ring the doorbell. Charges the
      * posting thread's CPU for the entire critical path (building WQEs and
-     * spinning on locks both burn cycles).
+     * spinning on locks both burn cycles). On a QP that is not in RTS
+     * (or whose device reset under it), the batch is flushed in error
+     * instead of reaching the hardware.
      */
     Task postSend(SimThread &thr, std::vector<WorkReq> wrs);
+
+    /** @return current QP state (Error once the device reset under it). */
+    QpState
+    state() const
+    {
+        return stale() ? QpState::Error : state_;
+    }
+
+    /** @return true if the QP must reconnect before posting again. */
+    bool needsReconnect() const { return state_ != QpState::Rts || stale(); }
+
+    /** Move RTS -> Error by hand (tests, admin-style teardown). */
+    void
+    moveToError()
+    {
+        if (state_ == QpState::Rts)
+            state_ = QpState::Error;
+    }
+
+    /**
+     * Re-establish the connection: Reset -> Init -> RTR -> RTS, one
+     * ibv_modify_qp cost each. Concurrent callers coalesce onto the one
+     * in-progress handshake. No-op when the QP is already usable.
+     */
+    Task reconnect(SimThread &thr);
 
     /**
      * Attribute this QP's doorbell waits/rings to the owner's counters
@@ -215,6 +253,12 @@ class Qp
     Rnic *target() { return target_; }
 
   private:
+    /** True when the device reset/recovered after this QP last connected. */
+    bool stale() const;
+
+    // Defined below Context (it needs the complete type).
+    void wakeReconnectWaiters();
+
     Context &ctx_;
     Cq *cq_;
     Rnic *target_;
@@ -223,6 +267,10 @@ class Qp
     SharerTracker qpSharers_;
     sim::Counter *dbWaitSink_ = nullptr;
     sim::Counter *dbRingSink_ = nullptr;
+    QpState state_ = QpState::Rts;
+    std::uint64_t boundEpoch_ = 0;
+    bool reconnecting_ = false;
+    std::deque<std::coroutine_handle<>> reconnectWaiters_;
 };
 
 /**
@@ -287,6 +335,15 @@ class Context
     std::uint32_t qpsCreated_ = 0;
     std::uint64_t icmBase_ = 0;
 };
+
+inline void
+Qp::wakeReconnectWaiters()
+{
+    while (!reconnectWaiters_.empty()) {
+        ctx_.sim().post(reconnectWaiters_.front());
+        reconnectWaiters_.pop_front();
+    }
+}
 
 /** Spinlock contention penalty: bounce cost grows with active spinners. */
 inline Time

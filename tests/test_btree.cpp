@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
 
 #include "apps/sherman/btree.hpp"
@@ -318,4 +319,43 @@ TEST_F(BtreeFixture, HotLeafContentionSerializedByHocl)
     EXPECT_EQ(retries, 0u);
     std::uint64_t v = 0;
     ASSERT_TRUE(index->hostLookup(500, v));
+}
+
+TEST_F(BtreeFixture, StaleLockLeaseBrokenInsteadOfDeadlock)
+{
+    // A writer on another compute blade died holding a leaf's HOCL lock
+    // (simulated by setting the lock word directly in blade memory).
+    // With a fault plane installed, a live writer spinning past the
+    // lease must break the lock and complete instead of deadlocking.
+    build(presets::full(), 1, false, 10);
+    ASSERT_EQ(index->height(), 1u); // root is the one leaf
+    std::uint64_t root_ptr = 0;
+    std::memcpy(&root_ptr, tb->memBlade(0).bytesAt(index->rootPtrOffset()),
+                8);
+    std::uint64_t dead_lock = 1;
+    std::memcpy(tb->memBlade(ptrBlade(root_ptr)).bytesAt(ptrOffset(root_ptr)),
+                &dead_lock, 8);
+
+    tb->faultPlane(9); // arms lease breaking; no faults scheduled
+    BtreeClient client(*index, tb->compute(0));
+    bool done = false;
+    tb->compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
+        BtOpResult res;
+        co_await client.insert(ctx, 4, 0xfeed, res);
+        EXPECT_TRUE(res.ok);
+        done = true;
+    });
+    tb->sim().runUntil(sim::msec(100));
+
+    EXPECT_TRUE(done);
+    EXPECT_GE(client.leaseBreaks(), 1u);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(index->hostLookup(4, v));
+    EXPECT_EQ(v, 0xfeedu);
+    // The lock was released cleanly after the broken-lease acquisition.
+    std::uint64_t lock_now = ~0ull;
+    std::memcpy(&lock_now,
+                tb->memBlade(ptrBlade(root_ptr)).bytesAt(ptrOffset(root_ptr)),
+                8);
+    EXPECT_EQ(lock_now, 0u);
 }

@@ -1,17 +1,19 @@
 /**
  * @file
- * Crash-recovery tests for the FORD-style transaction layer: stop the
- * simulation at arbitrary instants (a "power failure" with transactions
- * in every phase of the commit protocol), run DtxSystem::recover(), and
- * check FORD's failure-atomicity guarantees — committed transactions
- * survive via the redo log, uncommitted ones vanish entirely, stale
- * locks are broken, replicas re-converge, and money is conserved.
+ * Crash-recovery tests for the FORD-style transaction layer: crash a
+ * memory blade through the fault plane at arbitrary instants (with
+ * transactions in every phase of the commit protocol), run
+ * DtxSystem::recover(), and check FORD's failure-atomicity guarantees —
+ * committed transactions survive via the redo log, uncommitted ones
+ * vanish entirely, stale locks are broken, replicas re-converge, and
+ * money is conserved.
  */
 
 #include <gtest/gtest.h>
 
 #include "apps/ford/smallbank.hpp"
 #include "harness/testbed.hpp"
+#include "sim/fault.hpp"
 
 using namespace smart;
 using namespace smart::ford;
@@ -112,11 +114,16 @@ TEST_P(CrashInstant, ConservationAndConvergenceAfterArbitraryCrash)
 {
     // 8 threads hammer 12 accounts with conserving payments; the crash
     // lands mid-protocol for several transactions (locks held, logs
-    // half-written, one replica updated...).
+    // half-written, one replica updated...). The crash is delivered
+    // through the fault plane: mb1 drops dead at the crash instant and
+    // stays down, so in-flight transactions see error completions and
+    // abort instead of the simulator simply halting around them.
     CrashRig rig(8, 12);
     std::int64_t initial = rig.bank->hostTotal();
     rig.spawnPaymentStorm(8);
-    rig.tb->sim().runUntil(GetParam()); // CRASH
+    sim::FaultPlane &fp = rig.tb->faultPlane(GetParam());
+    fp.oneShot(GetParam(), sim::FaultKind::Crash, "mb1"); // stays down
+    rig.tb->sim().runUntil(GetParam() + sim::msec(20)); // aborts drain
 
     rig.sys->recover();
 

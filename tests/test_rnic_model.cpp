@@ -31,7 +31,8 @@ struct TestSink : CompletionSink
     Simulator *sim = nullptr;
 
     void
-    complete(const WorkReq &wr, std::uint64_t old_value) override
+    complete(const WorkReq &wr, std::uint64_t old_value,
+             WcStatus) override
     {
         wrIds.push_back(wr.wrId);
         oldValues.push_back(old_value);
@@ -363,7 +364,7 @@ floodMops(std::uint32_t outstanding, std::uint32_t block)
         std::vector<WorkReq> pendingRepost;
 
         void
-        complete(const WorkReq &wr, std::uint64_t) override
+        complete(const WorkReq &wr, std::uint64_t, WcStatus) override
         {
             ++completed;
             WorkReq next = wr;
@@ -415,7 +416,7 @@ TEST(RnicLimits, AtomicsCapBelowReads)
         RnicPair *pair;
         std::uint64_t completed = 0;
         void
-        complete(const WorkReq &wr, std::uint64_t) override
+        complete(const WorkReq &wr, std::uint64_t, WcStatus) override
         {
             ++completed;
             WorkReq next = wr;

@@ -104,6 +104,58 @@ TEST(ConflictController, MidGammaIsStable)
     EXPECT_EQ(c.tmaxCycles(), 4096u);
 }
 
+TEST(ConflictController, GammaExactlyAtWatermarksMovesNothing)
+{
+    // The comparisons are strict: sitting exactly on either water mark
+    // is the dead band, not a trigger.
+    ConflictController c(4096, 1024, 8, 0.5, 0.1);
+    c.update(0.5, true, true); // == gamma_high
+    EXPECT_EQ(c.cmax(), 8u);
+    EXPECT_EQ(c.tmaxCycles(), 4096u);
+    c.update(0.1, true, true); // == gamma_low
+    EXPECT_EQ(c.cmax(), 8u);
+    EXPECT_EQ(c.tmaxCycles(), 4096u);
+    EXPECT_DOUBLE_EQ(c.lastGamma(), 0.1);
+}
+
+TEST(ConflictController, CmaxFloorsAtOne)
+{
+    ConflictController c(4096, 1024, 8, 0.5, 0.1);
+    for (int i = 0; i < 50; ++i)
+        c.update(0.9, true, false); // tmax frozen: only cmax can move
+    EXPECT_EQ(c.cmax(), 1u);
+    EXPECT_EQ(c.tmaxCycles(), 4096u);
+}
+
+TEST(ConflictController, TmaxCapsAtTm)
+{
+    ConflictController c(4096, 8, 8, 0.5, 0.1);
+    for (int i = 0; i < 50; ++i)
+        c.update(0.9, true, true);
+    EXPECT_EQ(c.cmax(), 1u);
+    EXPECT_EQ(c.tmaxCycles(), 4096u * 8); // t_max never exceeds t_M
+}
+
+TEST(ConflictController, ExpansionGrowsCmaxBeforeShrinkingTmax)
+{
+    ConflictController c(4096, 1024, 8, 0.5, 0.1);
+    for (int i = 0; i < 10; ++i)
+        c.update(0.9, true, true); // cmax -> 1, tmax well above t0
+    std::uint64_t contracted_tmax = c.tmaxCycles();
+    ASSERT_EQ(c.cmax(), 1u);
+    ASSERT_GT(contracted_tmax, 4096u);
+    // Recovery: each low-gamma window doubles c_max while t_max stays
+    // put; only once c_max is back at its upper bound does t_max halve.
+    for (std::uint32_t expect = 2; expect <= 8; expect *= 2) {
+        c.update(0.0, true, true);
+        EXPECT_EQ(c.cmax(), expect);
+        EXPECT_EQ(c.tmaxCycles(), contracted_tmax);
+    }
+    c.update(0.0, true, true);
+    EXPECT_EQ(c.cmax(), 8u);
+    EXPECT_EQ(c.tmaxCycles(), contracted_tmax / 2);
+}
+
 TEST(DynSemaphore, EnforcesCapacity)
 {
     sim::Simulator sim;

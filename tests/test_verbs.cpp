@@ -151,7 +151,7 @@ postAndWait(Simulator &sim, SimThread &thr, Qp &qp, Cq &cq,
     CountingState state;
     state.pending = n;
     state.done = false;
-    cq.setDispatch([&](const Wc &) {
+    cq.setDispatch([&](const Wc &, const rnic::WorkReq &) {
         if (--state.pending == 0)
             state.done = true;
     });

@@ -19,6 +19,11 @@ from pathlib import Path
 
 SCHEMA = "smart-bench-report/v1"
 
+# DES-kernel microbenches drive the event queue directly: they have no
+# SMART threads or controller, so the thread-metrics / controller-timeline
+# requirements below do not apply to them. The perf block still does.
+KERNEL_BENCHES = {"kernel_stress"}
+
 
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
@@ -39,6 +44,8 @@ def validate(report):
         check(key in report, f"missing top-level key {key!r}")
         check(isinstance(report[key], typ),
               f"{key!r} must be {typ.__name__}")
+
+    validate_perf(report)
 
     for t in report["tables"]:
         check(isinstance(t.get("name"), str), "table missing name")
@@ -88,14 +95,33 @@ def validate(report):
                 and len(t_ns) >= 5):
             saw_ctrl_timeline = True
 
-    check(saw_thread_metrics,
-          "no run carries per-thread doorbell_wait_ns + wqe_refetches")
-    check(saw_ctrl_timeline,
-          "no run has a C_max + t_max timeline with >= 5 samples")
+    if report["bench"] not in KERNEL_BENCHES:
+        check(saw_thread_metrics,
+              "no run carries per-thread doorbell_wait_ns + wqe_refetches")
+        check(saw_ctrl_timeline,
+              "no run has a C_max + t_max timeline with >= 5 samples")
     if report["bench"] == "fault_storm":
         validate_fault_storm(report)
     print(f"check_bench_json: OK: {report['bench']} "
           f"({len(report['tables'])} tables, {len(report['runs'])} runs)")
+
+
+def validate_perf(report):
+    """Every report must carry a sane wall-clock perf block."""
+    perf = report.get("perf")
+    check(isinstance(perf, dict), "missing or malformed perf block")
+    for key in ("wall_ms", "events_processed", "events_per_sec",
+                "peak_queue_depth"):
+        check(key in perf, f"perf block missing {key!r}")
+        check(isinstance(perf[key], (int, float)),
+              f"perf.{key} must be numeric, got {perf[key]!r}")
+    check(perf["wall_ms"] > 0, f"perf.wall_ms {perf['wall_ms']} must be > 0")
+    check(perf["events_processed"] > 0,
+          "perf.events_processed must be > 0 (did the simulation run?)")
+    check(perf["events_per_sec"] > 0,
+          f"perf.events_per_sec {perf['events_per_sec']} must be > 0")
+    check(perf["peak_queue_depth"] >= 1,
+          f"perf.peak_queue_depth {perf['peak_queue_depth']} must be >= 1")
 
 
 def validate_fault_storm(report):

@@ -5,10 +5,14 @@
 
 #include "harness/bench_cli.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
+
+#include "sim/event_queue.hpp"
 
 namespace smart::harness {
 
@@ -20,14 +24,16 @@ usage(const std::string &bench, int exit_code)
     std::ostream &os = exit_code == 0 ? std::cout : std::cerr;
     os << "usage: " << bench
        << " [--quick] [--json PATH] [--out-dir DIR] [--seed N] "
-          "[--trace]\n"
+          "[--trace] [--perf]\n"
           "  --quick        reduced sweep for CI / smoke runs\n"
           "  --json PATH    write a smart-bench-report/v1 JSON report\n"
           "  --out-dir DIR  directory for CSV/JSON outputs (default .)\n"
           "  --seed N       perturb workload RNG seeds (recorded in the "
           "JSON report)\n"
           "  --trace        capture controller timelines (implies a "
-          "JSON report)\n";
+          "JSON report)\n"
+          "  --perf         print a wall-clock perf summary (always "
+          "embedded in the JSON report)\n";
     std::exit(exit_code);
 }
 
@@ -57,6 +63,8 @@ BenchCli::BenchCli(int argc, char **argv, std::string bench_name)
             seed_ = std::strtoull(value(i, "--seed").c_str(), nullptr, 0);
         } else if (arg == "--trace") {
             trace = true;
+        } else if (arg == "--perf") {
+            perf_ = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(benchName_, 0);
         } else {
@@ -113,11 +121,39 @@ BenchCli::note(const std::string &text)
     reporter_->addNote(text);
 }
 
+PerfBlock
+BenchCli::measurePerf() const
+{
+    PerfBlock p;
+    std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - startWall_;
+    p.wallMs = wall.count();
+    const sim::KernelPerf &kp = sim::processKernelPerf();
+    p.eventsProcessed = kp.eventsProcessed;
+    p.peakQueueDepth = kp.peakQueueDepth;
+    double wall_s = std::max(p.wallMs, 1e-3) / 1000.0;
+    p.eventsPerSec = static_cast<double>(p.eventsProcessed) / wall_s;
+    return p;
+}
+
 int
 BenchCli::finish()
 {
+    PerfBlock perf = measurePerf();
+    if (perf_) {
+        const sim::KernelPerf &kp = sim::processKernelPerf();
+        std::printf("perf: %.1f ms wall, %llu events, %.3g events/s, "
+                    "peak queue depth %llu, inserts %llu ring / %llu heap\n",
+                    perf.wallMs,
+                    static_cast<unsigned long long>(perf.eventsProcessed),
+                    perf.eventsPerSec,
+                    static_cast<unsigned long long>(perf.peakQueueDepth),
+                    static_cast<unsigned long long>(kp.ringInserts),
+                    static_cast<unsigned long long>(kp.heapInserts));
+    }
     if (!capturing())
         return 0;
+    reporter_->setPerf(perf);
     for (const RunCapture &cap : captures_)
         reporter_->addRun(cap);
     if (!reporter_->writeTo(jsonPath_)) {

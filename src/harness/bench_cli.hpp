@@ -16,6 +16,7 @@
 #ifndef SMART_HARNESS_BENCH_CLI_HPP
 #define SMART_HARNESS_BENCH_CLI_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -40,6 +41,16 @@ class BenchCli
     bool quick() const { return quick_; }
     std::uint64_t seed() const { return seed_; }
     const std::string &outDir() const { return outDir_; }
+
+    /** @return true when --perf asked for a wall-clock summary line. */
+    bool perfRequested() const { return perf_; }
+
+    /**
+     * Wall-clock perf of this process so far (ctor to now), paired with
+     * the process-wide DES kernel tallies. finish() embeds this in the
+     * report; --perf also prints it.
+     */
+    PerfBlock measurePerf() const;
 
     /** @return true when runs should fill RunCaptures (JSON requested). */
     bool capturing() const { return !jsonPath_.empty(); }
@@ -67,7 +78,10 @@ class BenchCli
 
   private:
     std::string benchName_;
+    std::chrono::steady_clock::time_point startWall_ =
+        std::chrono::steady_clock::now();
     bool quick_ = false;
+    bool perf_ = false;
     std::uint64_t seed_ = 0;
     std::string outDir_ = ".";
     std::string jsonPath_;

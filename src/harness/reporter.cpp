@@ -63,6 +63,12 @@ Reporter::toJson() const
     for (const std::string &n : notes_)
         notes.push(Json(n));
     root.set("notes", std::move(notes));
+    Json perf = Json::object();
+    perf.set("wall_ms", Json(perf_.wallMs));
+    perf.set("events_processed", Json(perf_.eventsProcessed));
+    perf.set("events_per_sec", Json(perf_.eventsPerSec));
+    perf.set("peak_queue_depth", Json(perf_.peakQueueDepth));
+    root.set("perf", std::move(perf));
     return root;
 }
 

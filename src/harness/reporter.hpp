@@ -20,6 +20,21 @@
 
 namespace smart::harness {
 
+/**
+ * Wall-clock performance of one bench process: how hard the DES kernel
+ * worked and how fast. Sourced from sim::processKernelPerf(), so multi-
+ * simulator benches aggregate correctly. Embedded in every JSON report
+ * as the "perf" block — the repo's perf trajectory is the history of
+ * these blocks across PRs (see EXPERIMENTS.md).
+ */
+struct PerfBlock
+{
+    double wallMs = 0.0;
+    std::uint64_t eventsProcessed = 0;
+    double eventsPerSec = 0.0;
+    std::uint64_t peakQueueDepth = 0;
+};
+
 /** Builds the JSON report of one bench process. */
 class Reporter
 {
@@ -28,6 +43,9 @@ class Reporter
         : bench_(std::move(bench)), quick_(quick), seed_(seed)
     {
     }
+
+    /** Install the wall-clock perf block (BenchCli fills this). */
+    void setPerf(const PerfBlock &p) { perf_ = p; }
 
     /** Record a result table under @p name (also the CSV base name). */
     void addTable(const std::string &name, const sim::Table &t);
@@ -53,6 +71,7 @@ class Reporter
     std::vector<std::pair<std::string, sim::Json>> tables_;
     std::vector<sim::Json> runs_;
     std::vector<std::string> notes_;
+    PerfBlock perf_;
 };
 
 } // namespace smart::harness

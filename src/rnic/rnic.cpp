@@ -129,12 +129,16 @@ Rnic::postBatch(Rnic *target, std::vector<WorkReq> batch)
     owrNow_ += batch.size();
     if (stallUntil_ > sim_.now()) {
         // Stalled NIC: the doorbell write posts, but the device fetches
-        // nothing until the stall lifts. (EventQueue callbacks must be
-        // copyable, hence the shared_ptr around the move-only batch.)
-        auto held = std::make_shared<std::vector<WorkReq>>(std::move(batch));
-        sim_.scheduleAt(stallUntil_, [this, target, held] {
-            sim_.spawnDetached(processBatch(target, std::move(*held)));
-        });
+        // nothing until the stall lifts. The batch is boxed because a
+        // vector would blow the event's inline-capture budget; this path
+        // only runs under an injected stall, never in the hot loop.
+        auto boxed =
+            std::make_unique<std::vector<WorkReq>>(std::move(batch));
+        sim_.scheduleAt(stallUntil_,
+                        [this, target, b = std::move(boxed)]() mutable {
+                            sim_.spawnDetached(
+                                processBatch(target, std::move(*b)));
+                        });
         return;
     }
     sim_.spawnDetached(processBatch(target, std::move(batch)));
@@ -154,43 +158,99 @@ Rnic::processBatch(Rnic *target, std::vector<WorkReq> batch)
 
     for (WorkReq &wr : batch)
         sim_.spawnDetached(processOne(target, std::move(wr)));
+    recycleBatchBuffer(std::move(batch));
 }
 
-Task
-Rnic::pcieDma(std::uint32_t bytes)
+/*
+ * Frameless leaf stages (see the header note): each pair of functions is
+ * the old coroutine body unrolled into EventFn continuations. The grant /
+ * delay / release / delay sequence schedules exactly the same events at
+ * the same times as the coroutine version did.
+ */
+
+void
+Rnic::dmaStart(std::uint32_t bytes, std::coroutine_handle<> h)
 {
-    co_await pcie_.acquire();
+    if (pcie_.tryAcquire())
+        dmaOccupy(bytes, h);
+    else
+        pcie_.enqueue([this, bytes, h] { dmaOccupy(bytes, h); });
+}
+
+void
+Rnic::dmaOccupy(std::uint32_t bytes, std::coroutine_handle<> h)
+{
+    // The zero-duration checks mirror delay()'s await_ready elision in
+    // the coroutine formulation: a 0 ns stage runs inline, no event.
     Time occupancy =
         static_cast<Time>(static_cast<double>(bytes) / cfg_.pcieBytesPerNs);
-    co_await sim_.delay(occupancy);
-    pcie_.release();
-    co_await sim_.delay(cfg_.pcieLatencyNs);
+    auto landed = [this, h] {
+        pcie_.release();
+        if (cfg_.pcieLatencyNs == 0)
+            h.resume();
+        else
+            sim_.scheduleResume(cfg_.pcieLatencyNs, h);
+    };
+    if (occupancy == 0)
+        landed();
+    else
+        sim_.schedule(occupancy, landed);
 }
 
-Task
-Rnic::sendTo(Rnic &dst, std::uint32_t bytes)
+void
+Rnic::sendStart(std::uint32_t bytes, std::coroutine_handle<> h)
 {
-    co_await egress_.acquire();
+    if (egress_.tryAcquire())
+        sendOccupy(bytes, h);
+    else
+        egress_.enqueue([this, bytes, h] { sendOccupy(bytes, h); });
+}
+
+void
+Rnic::sendOccupy(std::uint32_t bytes, std::coroutine_handle<> h)
+{
     Time occupancy =
         static_cast<Time>(static_cast<double>(bytes) / cfg_.linkBytesPerNs);
-    co_await sim_.delay(occupancy);
-    egress_.release();
-    co_await sim_.delay(cfg_.propagationNs);
-    (void)dst;
+    auto landed = [this, h] {
+        egress_.release();
+        if (cfg_.propagationNs == 0)
+            h.resume();
+        else
+            sim_.scheduleResume(cfg_.propagationNs, h);
+    };
+    if (occupancy == 0)
+        landed();
+    else
+        sim_.schedule(occupancy, landed);
 }
 
-Task
-Rnic::translate(std::uint64_t key)
+void
+Rnic::translateStart(std::coroutine_handle<> h)
 {
-    if (mttCache_.access(key))
-        co_return;
-    // Translation refetch: an extra pipeline pass plus a host-DRAM read.
+    // Only reached on a miss (await_ready covered the hit): an extra
+    // pipeline pass plus a host-DRAM read.
     perf_.mttRefetches.add();
     perf_.dramBytes.add(cfg_.mttMissBytes);
-    co_await pipeline_.acquire();
-    co_await sim_.delay(cfg_.pipeResponderNs);
-    pipeline_.release();
-    co_await sim_.delay(cfg_.mttMissLatencyNs);
+    if (pipeline_.tryAcquire())
+        translatePipe(h);
+    else
+        pipeline_.enqueue([this, h] { translatePipe(h); });
+}
+
+void
+Rnic::translatePipe(std::coroutine_handle<> h)
+{
+    auto passed = [this, h] {
+        pipeline_.release();
+        if (cfg_.mttMissLatencyNs == 0)
+            h.resume();
+        else
+            sim_.scheduleResume(cfg_.mttMissLatencyNs, h);
+    };
+    if (cfg_.pipeResponderNs == 0)
+        passed();
+    else
+        sim_.schedule(cfg_.pipeResponderNs, passed);
 }
 
 Task
@@ -261,7 +321,7 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     co_await target->translate(transKey(mr->id, wr.remoteOffset));
 
     std::uint64_t old_value = 0;
-    std::vector<std::uint8_t> snapshot;
+    std::vector<std::uint8_t> snapshot; // pooled; only READs populate it
     std::uint32_t resp_bytes = cfg_.headerBytes;
 
     switch (wr.op) {
@@ -271,6 +331,7 @@ Rnic::processOne(Rnic *target, WorkReq wr)
         co_await target->pcieDma(bytes);
         // Snapshot target memory at DMA-read time: later concurrent
         // writes must not be visible to this READ.
+        snapshot = takeByteBuffer();
         snapshot.assign(remote, remote + wr.length);
         resp_bytes += wr.length;
         break;
@@ -317,16 +378,19 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     if (down_ || epoch_ != wr.initEpoch) {
         // The initiating device reset/crashed under this WR: its QP is
         // gone, so the response is dropped and the WR flushes in error.
+        recycleByteBuffer(std::move(snapshot));
         completeError(wr, WcStatus::FlushedInError);
         co_return;
     }
     if (pendingCompletionErrors_ > 0) {
         --pendingCompletionErrors_;
+        recycleByteBuffer(std::move(snapshot));
         completeError(wr, WcStatus::RemoteAccessError);
         co_return;
     }
     if (completionErrorProb_ > 0.0 && faultRng_ != nullptr &&
         faultRng_->uniformDouble() < completionErrorProb_) {
+        recycleByteBuffer(std::move(snapshot));
         completeError(wr, WcStatus::RemoteAccessError);
         co_return;
     }
@@ -363,6 +427,7 @@ Rnic::processOne(Rnic *target, WorkReq wr)
         std::memcpy(wr.localBuf, snapshot.data(), wr.length);
     if ((wr.op == Op::Cas || wr.op == Op::Faa) && wr.localBuf != nullptr)
         std::memcpy(wr.localBuf, &old_value, 8);
+    recycleByteBuffer(std::move(snapshot));
 
     perf_.wrsCompleted.add();
     --owrNow_;

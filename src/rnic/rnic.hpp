@@ -264,6 +264,31 @@ class Rnic : public sim::FaultTarget
     /** Total inbound DRAM bytes divided by completed WRs (Fig. 4b). */
     double dramBytesPerWr() const;
 
+    /**
+     * Borrow an empty WorkReq vector with warm capacity. The flusher and
+     * doorbell paths churn one batch vector per ring; recycling through
+     * this pool keeps the steady state allocation-free.
+     */
+    std::vector<WorkReq>
+    takeBatchBuffer()
+    {
+        if (batchPool_.empty())
+            return {};
+        std::vector<WorkReq> v = std::move(batchPool_.back());
+        batchPool_.pop_back();
+        return v;
+    }
+
+    /** Return a batch vector to the pool (cleared, capacity kept). */
+    void
+    recycleBatchBuffer(std::vector<WorkReq> &&v)
+    {
+        if (v.capacity() == 0 || batchPool_.size() >= kBatchPoolCap)
+            return;
+        v.clear();
+        batchPool_.push_back(std::move(v));
+    }
+
   private:
     /** Fetch the batch's WQEs via PCIe, then issue each WR. */
     sim::Task processBatch(Rnic *target, std::vector<WorkReq> batch);
@@ -271,14 +296,85 @@ class Rnic : public sim::FaultTarget
     /** Drive one WR through initiator, fabric, responder and completion. */
     sim::Task processOne(Rnic *target, WorkReq wr);
 
-    /** Occupy host PCIe for @p bytes and add the DMA latency. */
-    sim::Task pcieDma(std::uint32_t bytes);
+    /*
+     * The per-WR leaf stages below are frameless awaitables, not child
+     * coroutines: each runs 2-4 times per WR, and a Task would cost a
+     * frame-pool round-trip plus actor dispatch per call. They chain
+     * EventFn callbacks through the same resources and delays the old
+     * coroutine bodies awaited, so the event sequence (count, timestamps,
+     * FIFO seq) is bit-identical to the coroutine formulation — metric
+     * output does not change.
+     */
 
-    /** Occupy the egress link towards @p dst, then propagate. */
-    sim::Task sendTo(Rnic &dst, std::uint32_t bytes);
+    /** Awaitable: occupy host PCIe for @p bytes, add the DMA latency. */
+    struct DmaAwaiter
+    {
+        Rnic &nic;
+        std::uint32_t bytes;
 
-    /** Touch the MTT/MPT cache; on miss pay refetch pipeline+latency. */
-    sim::Task translate(std::uint64_t key);
+        bool await_ready() const noexcept { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            nic.dmaStart(bytes, h);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    DmaAwaiter pcieDma(std::uint32_t bytes) { return {*this, bytes}; }
+    void dmaStart(std::uint32_t bytes, std::coroutine_handle<> h);
+    void dmaOccupy(std::uint32_t bytes, std::coroutine_handle<> h);
+
+    /** Awaitable: occupy the egress link, then propagate to the peer. */
+    struct SendAwaiter
+    {
+        Rnic &nic; // the sending side: its egress link is occupied
+        std::uint32_t bytes;
+
+        bool await_ready() const noexcept { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            nic.sendStart(bytes, h);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    SendAwaiter
+    sendTo(Rnic &dst, std::uint32_t bytes)
+    {
+        (void)dst; // latency model is symmetric; dst kept for readability
+        return {*this, bytes};
+    }
+    void sendStart(std::uint32_t bytes, std::coroutine_handle<> h);
+    void sendOccupy(std::uint32_t bytes, std::coroutine_handle<> h);
+
+    /**
+     * Awaitable: touch the MTT/MPT cache. A hit completes synchronously
+     * — no suspension, no event; a miss pays the refetch pipeline pass
+     * plus the host-DRAM latency.
+     */
+    struct TranslateAwaiter
+    {
+        Rnic &nic;
+        std::uint64_t key;
+
+        bool
+        await_ready() const
+        {
+            return nic.mttCache_.access(key);
+        }
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            nic.translateStart(h);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    TranslateAwaiter translate(std::uint64_t key) { return {*this, key}; }
+    void translateStart(std::coroutine_handle<> h);
+    void translatePipe(std::coroutine_handle<> h);
 
     /** Deliver an error CQE for @p wr (no payload lands). */
     void completeError(const WorkReq &wr, WcStatus status);
@@ -320,6 +416,32 @@ class Rnic : public sim::FaultTarget
     /** Key-space tag separating ICM entries from MTT page entries. */
     static constexpr std::uint64_t kIcmTag = 1ull << 62;
     std::uint64_t nextContext_ = 0;
+
+    /** Borrow a byte vector for READ snapshots (warm capacity). */
+    std::vector<std::uint8_t>
+    takeByteBuffer()
+    {
+        if (bytePool_.empty())
+            return {};
+        std::vector<std::uint8_t> v = std::move(bytePool_.back());
+        bytePool_.pop_back();
+        return v;
+    }
+
+    /** Return a snapshot vector to the pool. */
+    void
+    recycleByteBuffer(std::vector<std::uint8_t> &&v)
+    {
+        if (v.capacity() == 0 || bytePool_.size() >= kBytePoolCap)
+            return;
+        v.clear();
+        bytePool_.push_back(std::move(v));
+    }
+
+    static constexpr std::size_t kBatchPoolCap = 64;
+    static constexpr std::size_t kBytePoolCap = 256;
+    std::vector<std::vector<WorkReq>> batchPool_;
+    std::vector<std::vector<std::uint8_t>> bytePool_;
 };
 
 } // namespace smart::rnic

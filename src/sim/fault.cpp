@@ -79,23 +79,29 @@ FaultPlane::inject(FaultKind kind, const std::string &target, Time duration)
 }
 
 void
-FaultPlane::oneShot(Time at, FaultKind kind, std::string target,
-                    Time duration)
+FaultPlane::armAt(Time at, std::size_t idx)
 {
-    sim_.scheduleAt(at, [this, kind, target = std::move(target),
-                         duration] { fire(kind, target, duration); });
+    // Capture the schedule by index, not by value: EventFn stores its
+    // capture inline in 48 bytes, and the target name (a std::string)
+    // belongs in the plane-owned Sched entry, not in the event.
+    sim_.scheduleAt(at, [this, idx] { fireScheduled(idx); });
 }
 
 void
-FaultPlane::schedulePeriodic(Time at, Time period, FaultKind kind,
-                             std::string target, Time duration)
+FaultPlane::fireScheduled(std::size_t idx)
 {
-    sim_.scheduleAt(at, [this, period, kind, target = std::move(target),
-                         duration] {
-        fire(kind, target, duration);
-        schedulePeriodic(sim_.now() + period, period, kind, target,
-                         duration);
-    });
+    const Sched &s = schedules_[idx];
+    fire(s.kind, s.target, s.duration);
+    if (s.period > 0)
+        armAt(sim_.now() + s.period, idx);
+}
+
+void
+FaultPlane::oneShot(Time at, FaultKind kind, std::string target,
+                    Time duration)
+{
+    schedules_.push_back({kind, std::move(target), duration, 0});
+    armAt(at, schedules_.size() - 1);
 }
 
 void
@@ -103,7 +109,8 @@ FaultPlane::periodic(Time first, Time period, FaultKind kind,
                      std::string target, Time duration)
 {
     assert(period > 0);
-    schedulePeriodic(first, period, kind, std::move(target), duration);
+    schedules_.push_back({kind, std::move(target), duration, period});
+    armAt(first, schedules_.size() - 1);
 }
 
 void

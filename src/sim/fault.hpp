@@ -130,15 +130,30 @@ class FaultPlane
     std::uint64_t injectedCount() const { return injected_.value(); }
 
   private:
+    /**
+     * One armed schedule entry. Scheduled events capture only
+     * [this, index] (16 bytes) to fit EventFn's inline budget; the owning
+     * strings live here. Entries are append-only, so indices stay stable
+     * across vector growth.
+     */
+    struct Sched
+    {
+        FaultKind kind;
+        std::string target;
+        Time duration;
+        Time period; // 0 = one-shot
+    };
+
     FaultTarget *find(const std::string &name) const;
     void fire(FaultKind kind, const std::string &target, Time duration);
-    void schedulePeriodic(Time at, Time period, FaultKind kind,
-                          std::string target, Time duration);
+    void armAt(Time at, std::size_t idx);
+    void fireScheduled(std::size_t idx);
 
     Simulator &sim_;
     Rng rng_;
     Counter injected_;
     std::vector<FaultRecord> fired_;
+    std::vector<Sched> schedules_;
 };
 
 } // namespace smart::sim

@@ -60,12 +60,42 @@ class Resource
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                res.waiters_.push_back(h);
+                res.waiters_.push_back(EventFn::resume(h));
             }
 
             void await_resume() const noexcept {}
         };
         return Awaiter{*this};
+    }
+
+    /**
+     * Queue @p fn to run once a unit frees up; the unit is already held
+     * when @p fn is invoked (same handoff as a granted acquire()). Only
+     * valid right after tryAcquire() returned false — frameless awaiters
+     * (rnic's DMA/egress paths) use this instead of suspending a
+     * coroutine. FIFO order with coroutine waiters is preserved: both
+     * kinds share one queue.
+     */
+    void
+    enqueue(EventFn fn)
+    {
+        assert(inUse_ == capacity_);
+        waiters_.push_back(std::move(fn));
+    }
+
+    /**
+     * Synchronous acquire attempt. @return true (holding one unit) if the
+     * resource was free; false (state unchanged) if it would have queued.
+     * Lets hot paths skip the coroutine machinery when uncontended.
+     */
+    bool
+    tryAcquire()
+    {
+        if (inUse_ < capacity_) {
+            ++inUse_;
+            return true;
+        }
+        return false;
     }
 
     /** Return one unit; the oldest waiter (if any) is granted. */
@@ -75,9 +105,9 @@ class Resource
         assert(inUse_ > 0);
         if (!waiters_.empty()) {
             // Hand the unit straight to the head waiter: inUse_ unchanged.
-            std::coroutine_handle<> h = waiters_.front();
+            EventFn fn = std::move(waiters_.front());
             waiters_.pop_front();
-            sim_.post(h);
+            sim_.schedule(0, std::move(fn));
         } else {
             --inUse_;
         }
@@ -108,7 +138,9 @@ class Resource
     Simulator &sim_;
     std::uint32_t capacity_;
     std::uint32_t inUse_ = 0;
-    std::deque<std::coroutine_handle<>> waiters_;
+    // Mixed queue: coroutine waiters enter as EventFn::resume, frameless
+    // awaiters as callbacks; one deque keeps the FIFO fair across both.
+    std::deque<EventFn> waiters_;
     std::string name_;
 };
 

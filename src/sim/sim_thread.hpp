@@ -11,6 +11,7 @@
 #ifndef SMART_SIM_SIM_THREAD_HPP
 #define SMART_SIM_SIM_THREAD_HPP
 
+#include <coroutine>
 #include <cstdint>
 
 #include "sim/resource.hpp"
@@ -40,17 +41,68 @@ class SimThread
 
     /**
      * Charge @p d ns of CPU time to this thread.
+     *
+     * Uncontended acquisition takes a frame-free fast path: one scheduled
+     * release-and-resume event, no coroutine spawned. Contention falls
+     * back to a detached coroutine that queues on the CPU resource, with
+     * the awaiter chained as its continuation — semantically identical to
+     * the old acquire/delay/release task (same event count and order).
+     *
      * @pre the calling coroutine does not already hold the CPU.
      */
-    Task
+    auto
     compute(Time d)
+    {
+        struct Awaiter
+        {
+            SimThread &thr;
+            Time d;
+            bool fast = false;
+
+            bool
+            await_ready()
+            {
+                if (!thr.cpu_.tryAcquire())
+                    return false;
+                if (d == 0) {
+                    thr.cpu_.release();
+                    return true;
+                }
+                fast = true;
+                return false;
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> h)
+            {
+                if (fast) {
+                    thr.sim_.schedule(d, [res = &thr.cpu_, h] {
+                        res->release();
+                        h.resume();
+                    });
+                    return std::noop_coroutine();
+                }
+                Task slow = thr.computeSlow(d);
+                Task::Handle child = slow.detach();
+                child.promise().continuation = h;
+                return child; // symmetric transfer: start queuing now
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, d};
+    }
+
+  private:
+    /** Contended-path helper for compute(): FIFO-queue on the CPU. */
+    Task
+    computeSlow(Time d)
     {
         co_await cpu_.acquire();
         co_await sim_.delay(d);
         cpu_.release();
     }
 
-  private:
     Simulator &sim_;
     Resource cpu_;
     std::uint32_t id_;

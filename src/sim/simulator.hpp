@@ -39,14 +39,14 @@ class Simulator
 
     /** Schedule @p cb to run @p delay ns from now. */
     void
-    schedule(Time delay, EventQueue::Callback cb)
+    schedule(Time delay, EventQueue::Callback &&cb)
     {
         events_.scheduleAt(now_ + delay, std::move(cb));
     }
 
     /** Schedule @p cb at absolute time @p when (must be >= now). */
     void
-    scheduleAt(Time when, EventQueue::Callback cb)
+    scheduleAt(Time when, EventQueue::Callback &&cb)
     {
         events_.scheduleAt(when < now_ ? now_ : when, std::move(cb));
     }
@@ -55,7 +55,14 @@ class Simulator
     void
     post(std::coroutine_handle<> h)
     {
-        events_.scheduleAt(now_, [h] { h.resume(); });
+        events_.scheduleResumeAt(now_, h);
+    }
+
+    /** Resume @p h @p delay ns from now (allocation-free fast path). */
+    void
+    scheduleResume(Time delay, std::coroutine_handle<> h)
+    {
+        events_.scheduleResumeAt(now_ + delay, h);
     }
 
     /**
@@ -77,8 +84,7 @@ class Simulator
     void
     spawnDetached(Task t)
     {
-        Task::Handle h = t.detach();
-        events_.scheduleAt(now_, [h] { h.resume(); });
+        events_.scheduleResumeAt(now_, t.detach());
     }
 
     /** Run until the event queue drains. */
@@ -100,9 +106,12 @@ class Simulator
     void
     runUntil(Time deadline)
     {
-        while (!events_.empty() && events_.nextTime() <= deadline) {
-            Time when = 0;
-            EventQueue::Callback cb = events_.pop(when);
+        // popIfAtOrBefore folds the peek and the pop into one tier
+        // decision; cb is reused so its dead capture is destroyed by the
+        // next move-assign instead of a separate reset per event.
+        Time when = 0;
+        EventQueue::Callback cb;
+        while (events_.popIfAtOrBefore(deadline, when, cb)) {
             now_ = when;
             cb();
         }
@@ -124,7 +133,7 @@ class Simulator
             void
             await_suspend(std::coroutine_handle<> h) const
             {
-                sim.schedule(d, [h] { h.resume(); });
+                sim.scheduleResume(d, h);
             }
 
             void await_resume() const noexcept {}
@@ -132,8 +141,21 @@ class Simulator
         return Awaiter{*this, d};
     }
 
-    /** Number of events processed so far (perf introspection). */
+    /** Number of events ever scheduled (perf introspection). */
     std::uint64_t eventsScheduled() const { return events_.totalScheduled(); }
+
+    /** Number of events executed so far (perf introspection). */
+    std::uint64_t eventsProcessed() const { return events_.totalProcessed(); }
+
+    /** High-water mark of pending events (perf introspection). */
+    std::uint64_t peakQueueDepth() const { return events_.peakDepth(); }
+
+    /** Pre-reserve event-queue storage (see EventQueue::reserveStorage). */
+    void
+    reserveEventStorage(std::size_t per_bucket, std::size_t heap_slots)
+    {
+        events_.reserveStorage(per_bucket, heap_slots);
+    }
 
     /**
      * Metrics registered by every component of this simulation. Hanging

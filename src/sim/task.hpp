@@ -13,11 +13,76 @@
 #define SMART_SIM_TASK_HPP
 
 #include <coroutine>
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
+#include <new>
 #include <utility>
+#include <vector>
 
 namespace smart::sim {
+
+/**
+ * Size-bucketed freelist for coroutine frames. The simulation spawns a
+ * short-lived detached Task per work request, so frame allocation is on
+ * the hot path; recycling frames of the same (rounded) size keeps the
+ * steady state away from the allocator. Single-threaded by design — the
+ * whole cluster simulates on one OS thread. Freed frames are kept in
+ * static vectors (reachable, so leak checkers stay quiet) and returned to
+ * the allocator only at process exit.
+ */
+class FramePool
+{
+  public:
+    static void *
+    allocate(std::size_t n)
+    {
+        std::size_t bucket = bucketFor(n);
+        if (bucket < kBuckets) {
+            std::vector<void *> &free = freelist()[bucket];
+            if (!free.empty()) {
+                void *p = free.back();
+                free.pop_back();
+                return p;
+            }
+            n = (bucket + 1) * kGranule;
+        }
+        return ::operator new(n);
+    }
+
+    static void
+    release(void *p, std::size_t n) noexcept
+    {
+        std::size_t bucket = bucketFor(n);
+        if (bucket < kBuckets) {
+            std::vector<void *> &free = freelist()[bucket];
+            if (free.size() < kMaxPerBucket) {
+                free.push_back(p);
+                return;
+            }
+        }
+        ::operator delete(p);
+    }
+
+  private:
+    static constexpr std::size_t kGranule = 64;
+    static constexpr std::size_t kBuckets = 32; // frames up to 2 KiB pooled
+    static constexpr std::size_t kMaxPerBucket = 4096;
+
+    static std::size_t
+    bucketFor(std::size_t n) noexcept
+    {
+        return (n + kGranule - 1) / kGranule - 1;
+    }
+
+    static std::vector<void *> *
+    freelist() noexcept
+    {
+        static std::vector<void *> lists[kBuckets];
+        return lists;
+    }
+};
 
 /** A lazily-started coroutine returning void. */
 class Task
@@ -31,6 +96,21 @@ class Task
         std::coroutine_handle<> continuation{};
         bool detached = false;
         bool *doneFlag = nullptr;
+
+        // Frames come from the FramePool: per-operation detached tasks
+        // allocate and free a frame each, and recycling makes that free
+        // of allocator traffic in steady state.
+        static void *
+        operator new(std::size_t n)
+        {
+            return FramePool::allocate(n);
+        }
+
+        static void
+        operator delete(void *p, std::size_t n) noexcept
+        {
+            FramePool::release(p, n);
+        }
 
         Task get_return_object() { return Task{Handle::from_promise(*this)}; }
         std::suspend_always initial_suspend() noexcept { return {}; }

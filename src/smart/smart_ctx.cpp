@@ -72,6 +72,8 @@ SmartCtx::stage(const RemotePtr &p, rnic::WorkReq wr)
         // fault path this costs nothing (appTag stays 0, no copies).
         wr.appTag = nextAppTag_++;
         wr.syncEpoch = syncState_.epoch;
+        if (inflight_.size() == inflight_.capacity())
+            ++trackBufGrowths_;
         inflight_.push_back({idx, wr});
     }
     // Ops stage into the *thread-local* WR buffer (§5.1): a later flush
@@ -227,6 +229,8 @@ SmartCtx::noteWrCompletion(const rnic::WorkReq &wr, rnic::WcStatus status)
     lastFailStatus_ = status;
     for (std::size_t i = 0; i < inflight_.size(); ++i) {
         if (inflight_[i].wr.appTag == wr.appTag) {
+            if (failed_.size() == failed_.capacity())
+                ++trackBufGrowths_;
             failed_.push_back(std::move(inflight_[i]));
             inflight_[i] = std::move(inflight_.back());
             inflight_.pop_back();
@@ -247,6 +251,8 @@ SmartCtx::restage(TrackedWr t)
     t.wr.syncEpoch = syncState_.epoch;
     ++syncState_.pending;
     syncState_.done = false;
+    if (inflight_.size() == inflight_.capacity())
+        ++trackBufGrowths_;
     inflight_.push_back(t);
     thr_.stageWr(t.blade, t.wr);
     if (stagedBlades_.size() <= t.blade)
@@ -296,9 +302,12 @@ SmartCtx::sync()
         co_await sim().delay(sim::cyclesToNs(cycles));
 
         // New round: stragglers of the old one only return credits.
+        // retryBuf_ swaps with failed_ instead of replacing it, so both
+        // vectors keep their warm capacity across retry rounds.
         ++syncState_.epoch;
-        std::vector<TrackedWr> batch = std::move(failed_);
-        failed_.clear();
+        retryBuf_.clear();
+        retryBuf_.swap(failed_);
+        std::vector<TrackedWr> &batch = retryBuf_;
         for (TrackedWr &t : batch) {
             verbs::Qp &qp = rt_.qpFor(thr_.id(), t.blade);
             if (qp.needsReconnect()) {

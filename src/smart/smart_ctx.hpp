@@ -153,6 +153,10 @@ class SmartCtx
      */
     void noteWrCompletion(const rnic::WorkReq &wr, rnic::WcStatus status);
 
+    /** Capacity growths of the retry-tracking vectors (allocation
+     *  audit; stops moving once the buffers are warm). */
+    std::uint64_t trackBufGrowths() const { return trackBufGrowths_; }
+
   private:
     friend class SmartRuntime;
 
@@ -194,6 +198,11 @@ class SmartCtx
     // ---- failure tracking (populated only under a FaultPlane) ----
     std::vector<TrackedWr> inflight_;
     std::vector<TrackedWr> failed_;
+    /** Swap partner of failed_ in sync()'s retry loop (capacity reuse). */
+    std::vector<TrackedWr> retryBuf_;
+    /** Capacity growths of the tracking vectors (allocation audit;
+     *  must stabilize after warm-up — tests assert it). */
+    std::uint64_t trackBufGrowths_ = 0;
     std::uint64_t nextAppTag_ = 1;
     std::uint64_t armId_ = 0;
     bool timedOut_ = false;

@@ -109,7 +109,10 @@ SmartThread::stageWr(std::uint32_t blade_idx, rnic::WorkReq wr)
     if (staged_.size() <= blade_idx)
         staged_.resize(blade_idx + 1);
     wr.wqeMissCounter = &wqeRefetches;
-    staged_[blade_idx].wrs.push_back(wr);
+    StagedQueue &q = staged_[blade_idx];
+    if (q.wrs.size() == q.wrs.capacity())
+        ++stageBufGrowths_; // warm-up only; steady state must not grow
+    q.wrs.push_back(wr);
 }
 
 std::size_t
@@ -137,9 +140,13 @@ SmartThread::flushLoop(std::uint32_t blade_idx)
     // across suspension points.
     StagedQueue &q = staged_[blade_idx];
     verbs::Qp &qp = rt_.qpFor(id_, blade_idx);
+    rnic::Rnic &nic = rt_.rnic();
     while (!q.wrs.empty()) {
-        std::vector<rnic::WorkReq> batch = std::move(q.wrs);
-        q.wrs.clear();
+        // Swap the staged WRs into a pooled buffer: q.wrs keeps its warm
+        // capacity for the next stage() burst, and the batch vector comes
+        // back through the RNIC's pool after the hardware distributes it.
+        std::vector<rnic::WorkReq> batch = nic.takeBatchBuffer();
+        batch.swap(q.wrs);
         if (!rt_.config().workReqThrottle) {
             co_await qp.postSend(simThread_, std::move(batch));
             continue;
@@ -153,12 +160,20 @@ SmartThread::flushLoop(std::uint32_t blade_idx)
             std::uint32_t granted = 0;
             co_await acquireCredit(
                 static_cast<std::uint32_t>(batch.size() - i), granted);
-            std::vector<rnic::WorkReq> chunk(
-                std::make_move_iterator(batch.begin() + i),
-                std::make_move_iterator(batch.begin() + i + granted));
+            if (i == 0 && granted == batch.size()) {
+                // Full grant: post the whole batch without a chunk copy.
+                co_await qp.postSend(simThread_, std::move(batch));
+                batch = std::vector<rnic::WorkReq>();
+                break;
+            }
+            std::vector<rnic::WorkReq> chunk = nic.takeBatchBuffer();
+            chunk.assign(std::make_move_iterator(batch.begin() + i),
+                         std::make_move_iterator(batch.begin() + i +
+                                                 granted));
             co_await qp.postSend(simThread_, std::move(chunk));
             i += granted;
         }
+        nic.recycleBatchBuffer(std::move(batch));
     }
     q.flushing = false;
     // A stage() racing with the tail of the drain re-kicks the flusher

@@ -199,6 +199,13 @@ class SmartThread
     /** WRs staged but not yet handed to the RNIC (introspection). */
     std::size_t stagedCount(std::uint32_t blade_idx) const;
 
+    /**
+     * Times the staging buffer's capacity grew (allocation audit). The
+     * buffer swaps with pooled batch vectors rather than being replaced,
+     * so after warm-up this must stop moving — tests assert it.
+     */
+    std::uint64_t stageBufGrowths() const { return stageBufGrowths_; }
+
     // ---- statistics ----
     /** RDMA WRs completed by coroutines of this thread. */
     sim::Counter completedWrs;
@@ -260,6 +267,7 @@ class SmartThread
         bool flushing = false;
     };
     std::vector<StagedQueue> staged_; // per blade
+    std::uint64_t stageBufGrowths_ = 0;
 
     std::int64_t credit_;
     std::uint32_t cmax_;

@@ -95,13 +95,14 @@ Qp::postSend(SimThread &thr, std::vector<WorkReq> wrs)
 
     if (needsReconnect()) {
         // The QP left RTS (explicit Error move or device reset): posted
-        // WRs never reach the hardware and flush in error. Waiters are
-        // resumed via sim.post, so delivering from here cannot reenter
-        // the caller.
+        // WRs never reach the hardware and flush in error. Parked pollers
+        // are resumed by the CQ's deferred drain event, so delivering
+        // from here cannot reenter the caller.
         if (state_ == QpState::Rts)
             state_ = QpState::Error;
         for (const WorkReq &wr : wrs)
             cq_->complete(wr, 0, WcStatus::FlushedInError);
+        ctx_.rnic().recycleBatchBuffer(std::move(wrs));
         co_return;
     }
 

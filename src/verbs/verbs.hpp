@@ -119,7 +119,13 @@ class Cq : public rnic::CompletionSink
         Wc wc{wr.wrId, wr.op, old_value, status};
         if (dispatch_)
             dispatch_(wc, wr);
-        wakeAllWaiters();
+        // Batched delivery: instead of posting one wake event per CQE per
+        // waiter, schedule a single drain at this timestamp; it resumes
+        // every parked poller after all of the tick's CQEs dispatched.
+        if (!pollWaiters_.empty() && !drainPending_) {
+            drainPending_ = true;
+            sim_.schedule(0, [this] { drainWaiters(); });
+        }
     }
 
     /**
@@ -141,12 +147,16 @@ class Cq : public rnic::CompletionSink
 
   private:
     void
-    wakeAllWaiters()
+    drainWaiters()
     {
-        while (!pollWaiters_.empty()) {
-            sim_.post(pollWaiters_.front());
-            pollWaiters_.pop_front();
-        }
+        drainPending_ = false;
+        // Resume from a reused scratch vector: a resumed poller may park
+        // again (or new completions may arrive) while we iterate.
+        drainScratch_.assign(pollWaiters_.begin(), pollWaiters_.end());
+        pollWaiters_.clear();
+        for (std::coroutine_handle<> h : drainScratch_)
+            h.resume();
+        drainScratch_.clear();
     }
 
     /** Awaitable that parks the coroutine until the next delivery. */
@@ -172,6 +182,8 @@ class Cq : public rnic::CompletionSink
     Resource lock_;
     std::uint64_t delivered_ = 0;
     std::deque<std::coroutine_handle<>> pollWaiters_;
+    std::vector<std::coroutine_handle<>> drainScratch_;
+    bool drainPending_ = false;
     Dispatch dispatch_;
 };
 

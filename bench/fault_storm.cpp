@@ -88,8 +88,10 @@ main(int argc, char **argv)
     cfg.smart.withBenchTimescale();
     cfg.smart.corosPerThread = coros;
     RunCapture *cap = cli.nextCapture("storm");
-    if (cap != nullptr)
+    if (cap != nullptr) {
         cfg.traceSampleNs = sim::usec(500);
+        cli.configureSpans(cfg);
+    }
     Testbed tb(cfg);
 
     // The fault schedule: mb1 crashes at 12 ms and restarts at 20 ms

@@ -37,6 +37,7 @@ main(int argc, char **argv)
         cfg.threadsPerBlade = t;
         cfg.bladeBytes = 2ull << 30;
         cfg.smart = presets::baseline();
+        cli.configureSpans(cfg);
 
         HtBenchParams p;
         p.numKeys = keys;

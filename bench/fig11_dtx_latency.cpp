@@ -39,6 +39,7 @@ main(int argc, char **argv)
                 p.workload = w;
                 p.threads = 96;
                 p.seed = cli.seed();
+                p.spanSampleEvery = cli.spanSampleEvery();
                 p.numAccounts = cli.quick() ? 20'000 : 100'000;
                 p.measureNs = cli.quick() ? sim::msec(2) : sim::msec(4);
                 p.smartOn = smart_on;

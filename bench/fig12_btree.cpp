@@ -48,6 +48,7 @@ main(int argc, char **argv)
                 p.servers = 1;
                 p.threadsPerServer = thr;
                 p.seed = cli.seed();
+                p.spanSampleEvery = cli.spanSampleEvery();
                 p.mix = mix;
                 p.measureNs = quick ? sim::msec(2) : sim::msec(4);
                 RunCapture *cap =

@@ -19,7 +19,8 @@ using namespace smart::harness;
 
 namespace {
 
-std::uint64_t g_seed = 0; // from BenchCli --seed
+std::uint64_t g_seed = 0;       // from BenchCli --seed
+std::uint32_t g_span_every = 0; // from BenchCli --trace-spans
 
 struct Variant
 {
@@ -53,6 +54,7 @@ run(const SmartConfig &smart, std::uint32_t threads, std::uint64_t keys,
     cfg.bladeBytes = 3ull << 30;
     cfg.smart = smart;
     cfg.smart.withBenchTimescale();
+    cfg.spanSampleEvery = g_span_every;
 
     HtBenchParams p;
     p.numKeys = keys;
@@ -70,6 +72,7 @@ main(int argc, char **argv)
 {
     BenchCli cli(argc, argv, "fig14_conflict");
     g_seed = cli.seed();
+    g_span_every = cli.spanSampleEvery();
     bool quick = cli.quick();
     std::uint64_t keys = quick ? 200'000 : 1'000'000;
     std::vector<Variant> vars = variants();

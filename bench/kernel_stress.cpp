@@ -11,19 +11,28 @@
  *                 cross-tier pops and heap churn are measured too
  *   spawn_churn   a detached coroutine spawned per operation — the
  *                 FramePool recycling path
+ *   span_storm    resume_storm's loop with SpanTracer instrumentation
+ *                 guards, run twice: tracer absent (span_storm_off) and
+ *                 installed with sampling (span_storm_on)
  *
  * Each workload warms up (growing buffers, pooling frames), then runs a
  * measured window during which a global operator-new hook counts heap
- * allocations. resume_storm and timer_wheel must be exactly
- * allocation-free in steady state: any counted allocation fails the
- * bench (exit 1). This is the acceptance gate for the inline-event
- * design; there are no flaky wall-clock thresholds.
+ * allocations. resume_storm, timer_wheel and both span_storm runs must
+ * be exactly allocation-free in steady state: any counted allocation
+ * fails the bench (exit 1). The span runs additionally gate that the
+ * tracer never perturbs the simulation: span_storm_off must process
+ * exactly resume_storm's event count (the guard is one pointer load),
+ * and span_storm_on must process the same events again while recording.
+ * These are the acceptance gates for the inline-event design and the
+ * observe-only span layer; there are no flaky wall-clock thresholds
+ * (the disabled-tracer wall overhead is printed, not gated).
  */
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <string>
 #include <vector>
@@ -31,6 +40,7 @@
 #include "harness/bench_cli.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "sim/span.hpp"
 #include "sim/table.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
@@ -220,6 +230,58 @@ runSpawnChurn(std::uint32_t lanes, Time warmup, Time window)
     return measure(sim, warmup, window);
 }
 
+/**
+ * resume_storm's exact delay schedule with the span instrumentation
+ * pattern wrapped around it: one pointer load per iteration when no
+ * tracer is installed; begin/record/end into the pre-reserved pool when
+ * one is. Virtual-time behavior is identical either way.
+ */
+Task
+spanLooper(Simulator &sim, std::uint32_t lane, smart::sim::TrackId track)
+{
+    static constexpr Time kDelays[] = {5, 20, 80, 140, 250, 600, 1200};
+    std::uint32_t i = lane;
+    std::uint64_t n = 0;
+    for (;;) {
+        Time d = kDelays[i % 7] + (lane * 7) % 509;
+        smart::sim::SpanTracer *sp = sim.spans();
+        if (sp != nullptr && n++ % sp->sampleEvery() == 0) [[unlikely]] {
+            smart::sim::SpanId op =
+                sp->begin(track, smart::sim::Stage::Op, 0);
+            Time t0 = sim.now();
+            co_await sim.delay(d);
+            sp->record(track, smart::sim::Stage::Dma, op, t0, sim.now());
+            sp->end(op);
+        } else {
+            co_await sim.delay(d);
+        }
+        i += 1 + lane % 3;
+    }
+}
+
+WorkloadResult
+runSpanStorm(std::uint32_t lanes, Time warmup, Time window, bool traced,
+             std::uint64_t *span_records = nullptr)
+{
+    Simulator sim;
+    std::unique_ptr<smart::sim::SpanTracer> sp;
+    std::vector<smart::sim::TrackId> tracks(lanes, 0);
+    if (traced) {
+        // Tracks interned and the record pool reserved before the
+        // measured window; recording itself must then be alloc-free.
+        sp = std::make_unique<smart::sim::SpanTracer>(sim, 4, 1u << 18);
+        for (std::uint32_t l = 0; l < lanes; ++l)
+            tracks[l] = sp->internTrack("lane" + std::to_string(l),
+                                        "kernel");
+    }
+    for (std::uint32_t l = 0; l < lanes; ++l)
+        sim.spawn(spanLooper(sim, l, tracks[l]));
+    WorkloadResult r = measure(sim, warmup, window);
+    if (span_records != nullptr && sp != nullptr)
+        *span_records = sp->size() + sp->dropped();
+    return r;
+}
+
 } // namespace
 
 int
@@ -237,11 +299,15 @@ main(int argc, char **argv)
         WorkloadResult r;
         bool mustBeAllocFree;
     };
+    std::uint64_t span_records = 0;
     Row rows[] = {
         {"resume_storm", runResumeStorm(lanes, warmup, window), true},
         {"timer_wheel", runTimerWheel(lanes, warmup, window), true},
         {"two_tier_mix", runTwoTierMix(lanes, warmup, window), false},
         {"spawn_churn", runSpawnChurn(lanes, warmup, window), false},
+        {"span_storm_off", runSpanStorm(lanes, warmup, window, false), true},
+        {"span_storm_on",
+         runSpanStorm(lanes, warmup, window, true, &span_records), true},
     };
 
     std::printf("== DES kernel stress (lanes=%u, window=%llu us) ==\n",
@@ -276,8 +342,59 @@ main(int argc, char **argv)
         }
     }
     cli.addTable("kernel_stress", table);
-    cli.note("Paper shape: allocation-free event hot path; resume_storm "
-             "and timer_wheel must report 0 steady-state allocs.");
+
+    // Span-layer gates: the tracer must observe, never perturb. With the
+    // tracer absent the instrumented loop must replay resume_storm's
+    // event schedule exactly (the guard is one pointer load); with it
+    // installed, virtual time must still be untouched while it records.
+    const WorkloadResult &resume = rows[0].r;
+    const WorkloadResult &span_off = rows[4].r;
+    const WorkloadResult &span_on = rows[5].r;
+    if (span_off.events != resume.events) {
+        fail = true;
+        std::fprintf(stderr,
+                     "FAIL: span_storm_off processed %llu events, "
+                     "resume_storm %llu (disabled tracer perturbed the "
+                     "simulation)\n",
+                     static_cast<unsigned long long>(span_off.events),
+                     static_cast<unsigned long long>(resume.events));
+    }
+    if (span_on.events != span_off.events) {
+        fail = true;
+        std::fprintf(stderr,
+                     "FAIL: span_storm_on processed %llu events, "
+                     "span_storm_off %llu (recording perturbed the "
+                     "simulation)\n",
+                     static_cast<unsigned long long>(span_on.events),
+                     static_cast<unsigned long long>(span_off.events));
+    }
+    if (span_records == 0) {
+        fail = true;
+        std::fprintf(stderr,
+                     "FAIL: span_storm_on recorded no spans\n");
+    }
+    double disabled_overhead_pct = resume.wallMs > 0.0
+        ? 100.0 * (span_off.wallMs - resume.wallMs) / resume.wallMs
+        : 0.0;
+    std::printf("span tracer: disabled-guard wall overhead %+.2f%% vs "
+                "resume_storm (informational); %llu spans recorded when "
+                "enabled\n",
+                disabled_overhead_pct,
+                static_cast<unsigned long long>(span_records));
+    smart::sim::Table span_gates({"span_records", "off_events_match",
+                                  "on_events_match",
+                                  "disabled_overhead_pct"});
+    span_gates.row()
+        .cell(span_records)
+        .cell(std::string(span_off.events == resume.events ? "yes" : "NO"))
+        .cell(std::string(span_on.events == span_off.events ? "yes" : "NO"))
+        .cell(disabled_overhead_pct, 2);
+    cli.addTable("kernel_stress_span_gates", span_gates);
+
+    cli.note("Paper shape: allocation-free event hot path; resume_storm, "
+             "timer_wheel and both span_storm runs must report 0 "
+             "steady-state allocs, and the span tracer must never change "
+             "the processed-event count.");
 
     int rc = cli.finish();
     return fail ? 1 : rc;

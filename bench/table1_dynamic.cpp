@@ -29,6 +29,8 @@ using sim::Time;
 
 namespace {
 
+std::uint32_t g_span_every = 0; // from BenchCli --trace-spans
+
 struct Shared
 {
     std::uint32_t activeThreads = 96;
@@ -79,8 +81,10 @@ run(bool throttle, Time interval, Time window, std::uint64_t seed,
     cfg.smart = throttle ? presets::workReqThrot() : presets::thdResAlloc();
     cfg.smart.corosPerThread = 1;
     cfg.smart.withBenchTimescale();
-    if (cap != nullptr)
+    if (cap != nullptr) {
         cfg.traceSampleNs = sim::usec(500);
+        cfg.spanSampleEvery = g_span_every;
+    }
 
     Testbed tb(cfg);
     Shared shared;
@@ -108,6 +112,7 @@ int
 main(int argc, char **argv)
 {
     BenchCli cli(argc, argv, "table1_dynamic");
+    g_span_every = cli.spanSampleEvery();
     bool quick = cli.quick();
 
     std::vector<Time> intervals =

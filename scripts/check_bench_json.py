@@ -79,6 +79,10 @@ def validate(report):
                 "smart.thread.wqe_refetches"} <= names:
             saw_thread_metrics = True
 
+        spans = run.get("spans")
+        if spans is not None:
+            validate_spans(run["label"], spans)
+
         trace = run.get("trace")
         if trace is None:
             continue
@@ -104,6 +108,47 @@ def validate(report):
         validate_fault_storm(report)
     print(f"check_bench_json: OK: {report['bench']} "
           f"({len(report['tables'])} tables, {len(report['runs'])} runs)")
+
+
+def validate_spans(label, spans):
+    """Span attribution blocks (--trace-spans) must be self-consistent."""
+    check(isinstance(spans, dict),
+          f"run {label}: spans block must be an object")
+    for key in ("sample_every", "records", "dropped", "open", "coverage",
+                "stages"):
+        check(key in spans, f"run {label}: spans block missing {key!r}")
+    check(spans["sample_every"] >= 1,
+          f"run {label}: spans.sample_every must be >= 1")
+    cov = spans["coverage"]
+    check(isinstance(cov, dict), f"run {label}: spans.coverage malformed")
+    for key in ("op_total_ns", "attributed_ns", "ratio"):
+        check(key in cov, f"run {label}: spans.coverage missing {key!r}")
+    if cov["op_total_ns"] > 0:
+        check(cov["ratio"] >= 0.95,
+              f"run {label}: attribution covers only {cov['ratio']:.3f} "
+              f"of measured op time (need >= 0.95)")
+        check(cov["ratio"] <= 1.0 + 1e-9,
+              f"run {label}: attribution ratio {cov['ratio']} > 1")
+    stages = spans["stages"]
+    check(isinstance(stages, list),
+          f"run {label}: spans.stages must be a list")
+    attributed = 0
+    for st in stages:
+        for key in ("stage", "thread", "overlap", "count", "total_ns",
+                    "p50_ns", "p99_ns", "p999_ns", "share"):
+            check(key in st,
+                  f"run {label}: stage entry missing {key!r}: {st!r}")
+        check(st["count"] > 0,
+              f"run {label}: stage {st['stage']} has zero count")
+        check(st["p50_ns"] <= st["p99_ns"] <= st["p999_ns"],
+              f"run {label}: stage {st['stage']} percentiles not "
+              f"monotone: {st['p50_ns']}/{st['p99_ns']}/{st['p999_ns']}")
+        if not st["overlap"]:
+            attributed += st["total_ns"]
+    if cov["op_total_ns"] > 0:
+        check(attributed == cov["attributed_ns"],
+              f"run {label}: non-overlap stage totals {attributed} != "
+              f"coverage.attributed_ns {cov['attributed_ns']}")
 
 
 def validate_perf(report):

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -24,7 +25,7 @@ usage(const std::string &bench, int exit_code)
     std::ostream &os = exit_code == 0 ? std::cout : std::cerr;
     os << "usage: " << bench
        << " [--quick] [--json PATH] [--out-dir DIR] [--seed N] "
-          "[--trace] [--perf]\n"
+          "[--trace] [--trace-spans[=N]] [--flame PATH] [--perf]\n"
           "  --quick        reduced sweep for CI / smoke runs\n"
           "  --json PATH    write a smart-bench-report/v1 JSON report\n"
           "  --out-dir DIR  directory for CSV/JSON outputs (default .)\n"
@@ -32,9 +33,29 @@ usage(const std::string &bench, int exit_code)
           "JSON report)\n"
           "  --trace        capture controller timelines (implies a "
           "JSON report)\n"
+          "  --trace-spans[=N]  record per-op latency spans, sampling "
+          "every Nth op (default 1; implies a JSON report and writes a "
+          "Perfetto trace per captured run)\n"
+          "  --flame PATH   write collapsed-stack flamegraph lines to "
+          "PATH (implies --trace-spans)\n"
           "  --perf         print a wall-clock perf summary (always "
           "embedded in the JSON report)\n";
     std::exit(exit_code);
+}
+
+/** Turn a run label into a filename fragment ("SMART-HT/t0" ->
+ *  "SMART-HT_t0"). */
+std::string
+fileSafe(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '.';
+        if (!ok)
+            c = '_';
+    }
+    return out;
 }
 
 } // namespace
@@ -63,6 +84,18 @@ BenchCli::BenchCli(int argc, char **argv, std::string bench_name)
             seed_ = std::strtoull(value(i, "--seed").c_str(), nullptr, 0);
         } else if (arg == "--trace") {
             trace = true;
+        } else if (arg == "--trace-spans") {
+            spanSampleEvery_ = 1;
+        } else if (arg.rfind("--trace-spans=", 0) == 0) {
+            spanSampleEvery_ = static_cast<std::uint32_t>(std::strtoul(
+                arg.c_str() + sizeof("--trace-spans=") - 1, nullptr, 0));
+            if (spanSampleEvery_ == 0) {
+                std::cerr << benchName_
+                          << ": --trace-spans=N needs N >= 1\n";
+                usage(benchName_, 2);
+            }
+        } else if (arg == "--flame") {
+            flamePath_ = value(i, "--flame");
         } else if (arg == "--perf") {
             perf_ = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -74,7 +107,9 @@ BenchCli::BenchCli(int argc, char **argv, std::string bench_name)
     }
     if (outDir_.empty())
         outDir_ = ".";
-    if (trace && jsonPath_.empty())
+    if (!flamePath_.empty() && spanSampleEvery_ == 0)
+        spanSampleEvery_ = 1;
+    if ((trace || spanSampleEvery_ > 0) && jsonPath_.empty())
         jsonPath_ = outDir_ + "/" + benchName_ + "_report.json";
 
     std::error_code ec;
@@ -154,15 +189,55 @@ BenchCli::finish()
     if (!capturing())
         return 0;
     reporter_->setPerf(perf);
-    for (const RunCapture &cap : captures_)
+    int rc = 0;
+    std::string folded; // all captures, label-prefixed, one flame file
+    for (const RunCapture &cap : captures_) {
         reporter_->addRun(cap);
+        if (!cap.spanTrace.empty()) {
+            std::string path = outDir_ + "/" + benchName_ + "_" +
+                               fileSafe(cap.label) + "_trace.json";
+            std::ofstream os(path);
+            os << cap.spanTrace;
+            if (!os) {
+                std::cerr << benchName_ << ": failed to write '" << path
+                          << "'\n";
+                rc = 1;
+            } else {
+                std::cout << "span trace: " << path << "\n";
+            }
+        }
+        if (!cap.spanFolded.empty() && !flamePath_.empty()) {
+            // Re-prefix each line with the run label so one flame file
+            // can hold every captured run of the sweep.
+            std::size_t pos = 0;
+            while (pos < cap.spanFolded.size()) {
+                std::size_t eol = cap.spanFolded.find('\n', pos);
+                if (eol == std::string::npos)
+                    eol = cap.spanFolded.size();
+                folded += fileSafe(cap.label) + ";" +
+                          cap.spanFolded.substr(pos, eol - pos) + "\n";
+                pos = eol + 1;
+            }
+        }
+    }
+    if (!flamePath_.empty()) {
+        std::ofstream os(flamePath_);
+        os << folded;
+        if (!os) {
+            std::cerr << benchName_ << ": failed to write '" << flamePath_
+                      << "'\n";
+            rc = 1;
+        } else {
+            std::cout << "flamegraph stacks: " << flamePath_ << "\n";
+        }
+    }
     if (!reporter_->writeTo(jsonPath_)) {
         std::cerr << benchName_ << ": failed to write report to '"
                   << jsonPath_ << "'\n";
         return 1;
     }
     std::cout << "report: " << jsonPath_ << "\n";
-    return 0;
+    return rc;
 }
 
 } // namespace smart::harness

@@ -11,6 +11,11 @@
  *   --seed N       perturb every bench's workload RNG streams (recorded
  *                  in the JSON report; same seed => identical run)
  *   --trace        capture controller timelines (implies a JSON report)
+ *   --trace-spans[=N]  record per-op spans, sampling every Nth op
+ *                  (default every op; implies a JSON report; also writes
+ *                  <out-dir>/<bench>_<label>_trace.json per captured run)
+ *   --flame PATH   write collapsed-stack flamegraph lines to PATH
+ *                  (implies --trace-spans)
  */
 
 #ifndef SMART_HARNESS_BENCH_CLI_HPP
@@ -55,6 +60,19 @@ class BenchCli
     /** @return true when runs should fill RunCaptures (JSON requested). */
     bool capturing() const { return !jsonPath_.empty(); }
 
+    /** Span sampling stride from --trace-spans (0 = spans off). */
+    std::uint32_t spanSampleEvery() const { return spanSampleEvery_; }
+
+    /** Flamegraph output path from --flame (empty = not requested). */
+    const std::string &flamePath() const { return flamePath_; }
+
+    /** Apply the span flags to a testbed config (call before building). */
+    void
+    configureSpans(TestbedConfig &cfg) const
+    {
+        cfg.spanSampleEvery = spanSampleEvery_;
+    }
+
     /**
      * Reserve a capture slot for the next measured run, labelled
      * @p label. @return nullptr when no report was requested (or the
@@ -83,8 +101,10 @@ class BenchCli
     bool quick_ = false;
     bool perf_ = false;
     std::uint64_t seed_ = 0;
+    std::uint32_t spanSampleEvery_ = 0;
     std::string outDir_ = ".";
     std::string jsonPath_;
+    std::string flamePath_;
     // Stable-address storage: run functions hold RunCapture* across runs.
     std::deque<RunCapture> captures_;
     std::size_t maxCaptures_ = 32;

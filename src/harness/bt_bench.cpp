@@ -57,8 +57,10 @@ runBtBench(const BtBenchParams &params, RunCapture *capture)
                                                      : presets::baseline();
     cfg.smart.corosPerThread = params.corosPerThread;
     cfg.smart.withBenchTimescale();
-    if (capture != nullptr)
+    if (capture != nullptr) {
         cfg.traceSampleNs = sim::usec(500);
+        cfg.spanSampleEvery = params.spanSampleEvery;
+    }
     Testbed tb(cfg);
 
     std::vector<memblade::MemoryBlade *> blades;
@@ -121,8 +123,8 @@ runBtBench(const BtBenchParams &params, RunCapture *capture)
     double us = static_cast<double>(params.measureNs) / 1000.0;
     res.mops = static_cast<double>(ops) / us;
     res.rdmaMops = static_cast<double>(wrs) / us;
-    res.medianNs = static_cast<double>(lat.percentile(50));
-    res.p99Ns = static_cast<double>(lat.percentile(99));
+    res.medianNs = static_cast<double>(lat.p50());
+    res.p99Ns = static_cast<double>(lat.p99());
     res.specHitRate = spec_total
         ? static_cast<double>(spec_hits) / static_cast<double>(spec_total)
         : 0.0;

@@ -49,6 +49,9 @@ struct BtBenchParams
     sim::Time measureNs = sim::msec(4);
     /** Workload RNG seed (from BenchCli --seed); 0 = default stream. */
     std::uint64_t seed = 0;
+    /** Span sampling stride (BenchCli --trace-spans); used only for
+     *  captured runs, 0 = off. */
+    std::uint32_t spanSampleEvery = 0;
 };
 
 struct BtBenchResult

@@ -69,8 +69,10 @@ runDtxBench(const DtxBenchParams &params, RunCapture *capture)
     cfg.smart = params.smartOn ? presets::full() : presets::baseline();
     cfg.smart.corosPerThread = params.corosPerThread;
     cfg.smart.withBenchTimescale();
-    if (capture != nullptr)
+    if (capture != nullptr) {
         cfg.traceSampleNs = sim::usec(500);
+        cfg.spanSampleEvery = params.spanSampleEvery;
+    }
     Testbed tb(cfg);
 
     std::vector<memblade::MemoryBlade *> blades;
@@ -122,8 +124,8 @@ runDtxBench(const DtxBenchParams &params, RunCapture *capture)
     double us = static_cast<double>(params.measureNs) / 1000.0;
     res.mtps = static_cast<double>(ops) / us;
     res.rdmaMops = static_cast<double>(wrs) / us;
-    res.medianNs = static_cast<double>(rt.opLatency.percentile(50));
-    res.p99Ns = static_cast<double>(rt.opLatency.percentile(99));
+    res.medianNs = static_cast<double>(rt.opLatency.p50());
+    res.p99Ns = static_cast<double>(rt.opLatency.p99());
     res.abortRate =
         ops ? static_cast<double>(aborts) / static_cast<double>(ops) : 0.0;
     captureRun(tb, capture);

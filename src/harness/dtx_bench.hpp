@@ -35,6 +35,9 @@ struct DtxBenchParams
     sim::Time interTxnDelayNs = 0; ///< Fig. 11 throughput throttling
     /** Workload RNG seed (from BenchCli --seed); 0 = default stream. */
     std::uint64_t seed = 0;
+    /** Span sampling stride (BenchCli --trace-spans); used only for
+     *  captured runs, 0 = off. */
+    std::uint32_t spanSampleEvery = 0;
 };
 
 struct DtxBenchResult

@@ -72,6 +72,8 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
     tb_cfg.smart.corosPerThread = params.corosPerThread;
     if (capture != nullptr && tb_cfg.traceSampleNs == 0)
         tb_cfg.traceSampleNs = sim::usec(500);
+    if (capture == nullptr)
+        tb_cfg.spanSampleEvery = 0; // spans are per-capture artifacts
     Testbed tb(tb_cfg);
 
     std::vector<memblade::MemoryBlade *> blades;
@@ -140,8 +142,8 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
     double us = static_cast<double>(params.measureNs) / 1000.0;
     res.mops = static_cast<double>(ops) / us;
     res.rdmaMops = static_cast<double>(wrs) / us;
-    res.medianNs = static_cast<double>(lat.percentile(50));
-    res.p99Ns = static_cast<double>(lat.percentile(99));
+    res.medianNs = static_cast<double>(lat.p50());
+    res.p99Ns = static_cast<double>(lat.p99());
     res.avgRetries =
         ops ? static_cast<double>(retries) / static_cast<double>(ops) : 0.0;
     captureRun(tb, capture);

@@ -120,8 +120,8 @@ runRdmaBench(const TestbedConfig &cfg, const RdmaBenchParams &params,
     res.mops = static_cast<double>(wrs) / us;
     res.dramBytesPerWr =
         wrs ? static_cast<double>(dram) / static_cast<double>(wrs) : 0.0;
-    res.medianBatchNs = static_cast<double>(lat.percentile(50));
-    res.p99BatchNs = static_cast<double>(lat.percentile(99));
+    res.medianBatchNs = static_cast<double>(lat.p50());
+    res.p99BatchNs = static_cast<double>(lat.p99());
     res.wqeHitRatio = wqe_hits / tb.numComputeBlades();
     res.mttHitRatio = mtt_hits / tb.numComputeBlades();
     res.avgDoorbellWaitNs =

@@ -40,6 +40,8 @@ Reporter::addRun(const RunCapture &cap)
     jr.set("metrics", cap.metrics.toJson());
     if (cap.trace.samples() > 0)
         jr.set("trace", cap.trace.toJson());
+    if (cap.spans.isObject())
+        jr.set("spans", cap.spans);
     runs_.push_back(std::move(jr));
 }
 

@@ -17,8 +17,10 @@
 #include "memblade/memory_blade.hpp"
 #include "rnic/rnic_config.hpp"
 #include "sim/fault.hpp"
+#include "sim/json.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "sim/span.hpp"
 #include "sim/trace.hpp"
 #include "smart/smart_config.hpp"
 #include "smart/smart_runtime.hpp"
@@ -42,6 +44,15 @@ struct TestbedConfig
     sim::Time traceSampleNs = 0;
     /** Hard cap on trace samples (bounds report size). */
     std::size_t traceMaxSamples = 4096;
+
+    /**
+     * Span recording cadence: every Nth application op per coroutine is
+     * traced through the full stack (sim/span.hpp); 0 disables the
+     * tracer entirely (untraced runs pay one pointer load per op).
+     */
+    std::uint32_t spanSampleEvery = 0;
+    /** Hard cap on span records (bounds memory; excess is dropped). */
+    std::size_t spanMaxRecords = 1u << 20;
 };
 
 /** A fully wired cluster: every compute blade connected to every blade. */
@@ -50,6 +61,9 @@ class Testbed
   public:
     explicit Testbed(const TestbedConfig &cfg) : cfg_(cfg)
     {
+        if (cfg.spanSampleEvery > 0)
+            spans_ = std::make_unique<sim::SpanTracer>(
+                sim_, cfg.spanSampleEvery, cfg.spanMaxRecords);
         for (std::uint32_t m = 0; m < cfg.memoryBlades; ++m) {
             memBlades_.push_back(std::make_unique<memblade::MemoryBlade>(
                 sim_, cfg.hw, "mb" + std::to_string(m), cfg.bladeBytes));
@@ -84,6 +98,9 @@ class Testbed
 
     /** @return the built-in tracer (nullptr unless traceSampleNs > 0). */
     sim::Tracer *tracer() { return tracer_.get(); }
+
+    /** @return the span tracer (nullptr unless spanSampleEvery > 0). */
+    sim::SpanTracer *spanTracer() { return spans_.get(); }
 
     /**
      * Lazily create (and install) the cluster's fault-injection plane.
@@ -130,6 +147,8 @@ class Testbed
     std::vector<std::unique_ptr<SmartRuntime>> computeBlades_;
     // Declared after sim_: the plane unregisters from it on destruction.
     std::unique_ptr<sim::FaultPlane> faultPlane_;
+    // Declared after sim_: the tracer uninstalls itself on destruction.
+    std::unique_ptr<sim::SpanTracer> spans_;
     // Declared last: sampling coroutine references members above.
     std::unique_ptr<sim::Tracer> tracer_;
 };
@@ -143,6 +162,12 @@ struct RunCapture
     std::string label;
     sim::MetricsSnapshot metrics;
     sim::TraceData trace;
+    /** Per-stage latency attribution (null unless spans were recorded). */
+    sim::Json spans;
+    /** Chrome/Perfetto trace JSON text (empty unless spans recorded). */
+    std::string spanTrace;
+    /** Collapsed-stack flamegraph lines (empty unless spans recorded). */
+    std::string spanFolded;
 };
 
 /** Fill @p cap (if non-null) from @p tb after a finished run. */
@@ -155,6 +180,12 @@ captureRun(Testbed &tb, RunCapture *cap)
     if (tb.tracer() != nullptr) {
         tb.tracer()->stop();
         cap->trace = tb.tracer()->take();
+    }
+    if (tb.spanTracer() != nullptr) {
+        sim::SpanTracer &sp = *tb.spanTracer();
+        cap->spans = sp.attribution();
+        cap->spanTrace = sp.chromeTraceString();
+        cap->spanFolded = sp.collapsedStacks();
     }
 }
 

@@ -154,7 +154,23 @@ Rnic::processBatch(Rnic *target, std::vector<WorkReq> batch)
     std::uint32_t lines = (wqe_bytes + 63) / 64;
     std::uint32_t fetch_bytes = lines * 64;
     perf_.dramBytes.add(fetch_bytes);
+    // The fetch serves the whole batch; attribute it to the first traced
+    // WR (sampling makes at most a few per batch traced anyway).
+    sim::SpanId traced = 0;
+    sim::SpanTracer *sp = sim_.spans();
+    if (sp != nullptr) {
+        for (const WorkReq &wr : batch) {
+            if (wr.traceSpan != 0) {
+                traced = wr.traceSpan;
+                break;
+            }
+        }
+    }
+    Time fetch_t0 = sim_.now();
     co_await pcieDma(fetch_bytes);
+    if (traced != 0)
+        sp->record(spanTrack(*sp), sim::Stage::WqeFetch, traced, fetch_t0,
+                   sim_.now());
 
     for (WorkReq &wr : batch)
         sim_.spawnDetached(processOne(target, std::move(wr)));
@@ -256,6 +272,17 @@ Rnic::translatePipe(std::coroutine_handle<> h)
 Task
 Rnic::processOne(Rnic *target, WorkReq wr)
 {
+    // Device-side spans are recorded by wrapping existing awaits in
+    // now() timestamps — the pipeline itself is untouched. Untraced WRs
+    // (the common case, and every WR when no tracer is installed) keep
+    // sp == nullptr and skip every site with one branch.
+    sim::SpanTracer *sp = wr.traceSpan != 0 ? sim_.spans() : nullptr;
+    auto devSpan = [&](Rnic &dev, sim::Stage st, Time t0) {
+        if (sp != nullptr)
+            sp->record(dev.spanTrack(*sp), st, wr.traceSpan, t0,
+                       sim_.now());
+    };
+
     // ---- Initiator issue ----
     co_await pipeline_.acquire();
     co_await sim_.delay(cfg_.pipeIssueNs);
@@ -267,16 +294,21 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     std::uint64_t icm_key =
         wr.icmBase + wr.uid % cfg_.icmEntriesPerContext;
     if (!mttCache_.access(icm_key)) {
+        Time t0 = sim_.now();
         perf_.mttRefetches.add();
         perf_.dramBytes.add(cfg_.mttMissBytes);
         co_await pipeline_.acquire();
         co_await sim_.delay(cfg_.icmMissExtraPipeNs);
         pipeline_.release();
         co_await sim_.delay(cfg_.mttMissLatencyNs);
+        devSpan(*this, sim::Stage::MttFetch, t0);
     }
 
-    if (wr.localBuf != nullptr)
+    if (wr.localBuf != nullptr) {
+        Time t0 = sim_.now();
         co_await translate(wr.localTransKey);
+        devSpan(*this, sim::Stage::MttFetch, t0); // hits are 0 ns (skipped)
+    }
 
     // Unreachable responder (crashed blade): the transport retries for
     // its timeout budget, then completes the WR in error.
@@ -294,7 +326,9 @@ Rnic::processOne(Rnic *target, WorkReq wr)
         req_bytes += 16;
     else if (wr.op == Op::Faa)
         req_bytes += 8;
+    Time wire_t0 = sim_.now();
     co_await sendTo(*target, req_bytes);
+    devSpan(*this, sim::Stage::Link, wire_t0);
 
     // ---- Responder ----
     if (target->down_) {
@@ -318,7 +352,9 @@ Rnic::processOne(Rnic *target, WorkReq wr)
         co_return;
     }
     std::uint8_t *remote = mr->base + wr.remoteOffset;
+    wire_t0 = sim_.now();
     co_await target->translate(transKey(mr->id, wr.remoteOffset));
+    devSpan(*target, sim::Stage::MttFetch, wire_t0);
 
     std::uint64_t old_value = 0;
     std::vector<std::uint8_t> snapshot; // pooled; only READs populate it
@@ -328,7 +364,9 @@ Rnic::processOne(Rnic *target, WorkReq wr)
       case Op::Read: {
         std::uint32_t bytes = wr.length + cfg_.payloadPadBytes;
         target->perf_.dramBytes.add(bytes);
+        Time t0 = sim_.now();
         co_await target->pcieDma(bytes);
+        devSpan(*target, sim::Stage::Dma, t0);
         // Snapshot target memory at DMA-read time: later concurrent
         // writes must not be visible to this READ.
         snapshot = takeByteBuffer();
@@ -339,13 +377,16 @@ Rnic::processOne(Rnic *target, WorkReq wr)
       case Op::Write: {
         std::uint32_t bytes = wr.length + cfg_.payloadPadBytes;
         target->perf_.dramBytes.add(bytes);
+        Time t0 = sim_.now();
         co_await target->pcieDma(bytes);
+        devSpan(*target, sim::Stage::Dma, t0);
         assert(wr.localBuf != nullptr);
         std::memcpy(remote, wr.localBuf, wr.length);
         break;
       }
       case Op::Cas: {
         assert(wr.length == 8);
+        Time t0 = sim_.now();
         co_await target->atomicUnits_.acquire();
         co_await sim_.delay(cfg_.atomicServiceNs);
         // Atomic read-compare-write executes in one event: no interleaving.
@@ -353,18 +394,21 @@ Rnic::processOne(Rnic *target, WorkReq wr)
         if (old_value == wr.compare)
             std::memcpy(remote, &wr.swap, 8);
         target->atomicUnits_.release();
+        devSpan(*target, sim::Stage::Atomic, t0);
         target->perf_.dramBytes.add(16);
         resp_bytes += 8;
         break;
       }
       case Op::Faa: {
         assert(wr.length == 8);
+        Time t0 = sim_.now();
         co_await target->atomicUnits_.acquire();
         co_await sim_.delay(cfg_.atomicServiceNs);
         std::memcpy(&old_value, remote, 8);
         std::uint64_t updated = old_value + wr.compare;
         std::memcpy(remote, &updated, 8);
         target->atomicUnits_.release();
+        devSpan(*target, sim::Stage::Atomic, t0);
         target->perf_.dramBytes.add(16);
         resp_bytes += 8;
         break;
@@ -372,7 +416,9 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     }
 
     // ---- Response over the wire ----
+    wire_t0 = sim_.now();
     co_await target->sendTo(*this, resp_bytes);
+    devSpan(*target, sim::Stage::Link, wire_t0);
 
     // ---- Initiator completion ----
     if (down_ || epoch_ != wr.initEpoch) {
@@ -406,9 +452,11 @@ Rnic::processOne(Rnic *target, WorkReq wr)
         if (wr.wqeMissCounter)
             wr.wqeMissCounter->add();
         perf_.dramBytes.add(cfg_.wqeMissBytes);
+        Time t0 = sim_.now();
         co_await dmaEngines_.acquire();
         co_await sim_.delay(cfg_.dmaMissServiceNs);
         dmaEngines_.release();
+        devSpan(*this, sim::Stage::WqeFetch, t0);
     }
     co_await pipeline_.acquire();
     co_await sim_.delay(cfg_.pipeCompletionNs);
@@ -421,7 +469,9 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     else if (wr.op == Op::Cas || wr.op == Op::Faa)
         land_bytes += 8;
     perf_.dramBytes.add(land_bytes);
+    wire_t0 = sim_.now();
     co_await pcieDma(land_bytes);
+    devSpan(*this, sim::Stage::Pcie, wire_t0);
 
     if (wr.op == Op::Read && wr.localBuf != nullptr)
         std::memcpy(wr.localBuf, snapshot.data(), wr.length);

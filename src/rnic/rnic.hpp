@@ -28,6 +28,7 @@
 #include "rnic/rnic_config.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
+#include "sim/span.hpp"
 #include "sim/task.hpp"
 
 namespace smart::rnic {
@@ -109,6 +110,12 @@ struct WorkReq
     std::uint64_t appTag = 0;
     /** Sync-round epoch; CQEs from abandoned rounds are ignored. */
     std::uint32_t syncEpoch = 0;
+    /**
+     * Parent span (the issuing coroutine's verb/retry span) when this
+     * WR belongs to a sampled operation of an installed SpanTracer;
+     * 0 (the common case) disables all device-side span recording.
+     */
+    sim::SpanId traceSpan = 0;
     /** Initiator device epoch at post time (set by postBatch); a
      *  mismatch at completion means the RNIC reset under the WR. */
     std::uint64_t initEpoch = 0;
@@ -149,6 +156,19 @@ class Rnic : public sim::FaultTarget
 
     /** @return the MTT/MPT translation cache (for test introspection). */
     LruCache &mttCache() { return mttCache_; }
+
+    /**
+     * Device-side span track of this adapter, interned in @p sp on first
+     * use. Only called from instrumentation sites already gated on a
+     * traced WR, so untraced runs never reach it.
+     */
+    sim::TrackId
+    spanTrack(sim::SpanTracer &sp)
+    {
+        if (spanTrack_ == 0)
+            spanTrack_ = sp.internTrack(name_ + ".rnic", "", true);
+        return spanTrack_;
+    }
 
     /** @return posted-but-uncompleted work requests (the paper's OWRs). */
     std::uint64_t owrNow() const { return owrNow_; }
@@ -397,6 +417,7 @@ class Rnic : public sim::FaultTarget
     sim::Counter wqeHits_;
     sim::Counter wqeMisses_;
     sim::Rng rng_;
+    sim::TrackId spanTrack_ = 0; // interned lazily by spanTrack()
 
     // Fault state (defaults = healthy; only a FaultPlane mutates these).
     bool down_ = false;

@@ -40,9 +40,10 @@ HistogramSummary::of(const LatencyHistogram &h)
     s.mean = h.mean();
     s.min = h.min();
     s.max = h.max();
-    s.p50 = h.percentile(50);
+    s.p50 = h.p50();
     s.p90 = h.percentile(90);
-    s.p99 = h.percentile(99);
+    s.p99 = h.p99();
+    s.p999 = h.p999();
     return s;
 }
 
@@ -130,6 +131,7 @@ MetricsSnapshot::toJson() const
             h.set("p50", e.hist.p50);
             h.set("p90", e.hist.p90);
             h.set("p99", e.hist.p99);
+            h.set("p999", e.hist.p999);
             m.set("value", std::move(h));
             break;
           }
@@ -183,6 +185,7 @@ MetricsSnapshot::fromJson(const Json &j, MetricsSnapshot &out)
             e.hist.p50 = num("p50");
             e.hist.p90 = num("p90");
             e.hist.p99 = num("p99");
+            e.hist.p999 = num("p999");
         } else {
             return false;
         }

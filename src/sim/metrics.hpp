@@ -62,6 +62,7 @@ struct HistogramSummary
     std::uint64_t p50 = 0;
     std::uint64_t p90 = 0;
     std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
 
     static HistogramSummary of(const LatencyHistogram &h);
     bool operator==(const HistogramSummary &) const = default;

@@ -21,6 +21,7 @@ namespace smart::sim {
 
 class FaultPlane;
 class FaultTarget;
+class SpanTracer;
 
 /**
  * Owns the virtual clock and the event queue, and keeps root coroutines
@@ -175,6 +176,16 @@ class Simulator
     /** Called by FaultPlane's constructor/destructor. */
     void installFaultPlane(FaultPlane *p) { fault_ = p; }
 
+    /**
+     * The installed span tracer, or nullptr when span recording is off.
+     * Instrumentation sites key on this being non-null (and on the op
+     * being sampled), so an untraced run pays one pointer load per op.
+     */
+    SpanTracer *spans() const { return spans_; }
+
+    /** Called by SpanTracer's constructor/destructor. */
+    void installSpanTracer(SpanTracer *t) { spans_ = t; }
+
     /** Components that can absorb faults register here (see fault.hpp). */
     void addFaultTarget(FaultTarget *t) { faultTargets_.push_back(t); }
 
@@ -197,6 +208,7 @@ class Simulator
     std::vector<std::unique_ptr<Task>> rootTasks_;
     MetricsRegistry metrics_;
     FaultPlane *fault_ = nullptr;
+    SpanTracer *spans_ = nullptr;
     std::vector<FaultTarget *> faultTargets_;
 };
 

@@ -98,6 +98,12 @@ class LatencyHistogram
         return max_;
     }
 
+    // Named percentiles every report quotes; one spelling repo-wide
+    // instead of each bench re-deriving its own percentile() calls.
+    std::uint64_t p50() const { return percentile(50); }
+    std::uint64_t p99() const { return percentile(99); }
+    std::uint64_t p999() const { return percentile(99.9); }
+
     /** Forget all samples. */
     void
     reset()

@@ -7,6 +7,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <string>
 
 namespace smart {
 
@@ -67,6 +68,14 @@ SmartCtx::stage(const RemotePtr &p, rnic::WorkReq wr)
     wr.remoteOffset = p.offset;
     wr.localTransKey = scratchTransKey_;
     wr.wrId = reinterpret_cast<std::uint64_t>(&syncState_);
+    if (opSpan_ != 0) {
+        // Sampled op: open the verb span lazily (first staged WR) and tag
+        // the WR so device-side stages attribute back to this coroutine.
+        if (verbSpan_ == 0)
+            verbSpan_ =
+                rt_.sim().spans()->begin(track_, sim::Stage::Verb, opSpan_);
+        wr.traceSpan = retrySpan_ != 0 ? retrySpan_ : verbSpan_;
+    }
     if (rt_.sim().faultPlane() != nullptr) {
         // Track the WR so an error completion can re-stage it. Off the
         // fault path this costs nothing (appTag stays 0, no copies).
@@ -183,7 +192,11 @@ SmartCtx::awaitRound()
     if (syncState_.sinceCharge > 0) {
         std::uint32_t n = syncState_.sinceCharge;
         syncState_.sinceCharge = 0;
+        Time t0 = sim().now();
         co_await rt_.cqFor(thr_.id()).chargePoll(thr_.simThread(), n);
+        if (opSpan_ != 0)
+            rt_.sim().spans()->record(track_, sim::Stage::CqePoll,
+                                      currentSpan(), t0, sim().now());
     }
 }
 
@@ -249,6 +262,8 @@ SmartCtx::restage(TrackedWr t)
     // the region key so the retry addresses the *current* registration.
     t.wr.rkey = rt_.bladeRkey(t.blade);
     t.wr.syncEpoch = syncState_.epoch;
+    if (t.wr.traceSpan != 0 && retrySpan_ != 0)
+        t.wr.traceSpan = retrySpan_; // device stages land under the round
     ++syncState_.pending;
     syncState_.done = false;
     if (inflight_.size() == inflight_.capacity())
@@ -266,8 +281,10 @@ SmartCtx::sync()
     co_await awaitRound();
     bool timed_out = timedOut_;
     timedOut_ = false;
-    if (failed_.empty() && failedUntracked_ == 0) [[likely]]
+    if (failed_.empty() && failedUntracked_ == 0) [[likely]] {
+        endVerbSpan();
         co_return;
+    }
 
     // Failure policy: re-post failed WRs with truncated-exponential
     // spacing (reusing the §4.3 backoff machinery), transparently
@@ -281,6 +298,7 @@ SmartCtx::sync()
         error_ = {timed_out ? VerbError::Kind::Timeout
                             : VerbError::Kind::RetriesExhausted,
                   lastFailStatus_};
+        endVerbSpan();
         co_return;
     }
     std::uint32_t attempt = 0;
@@ -291,15 +309,24 @@ SmartCtx::sync()
             error_ = {timed_out ? VerbError::Kind::Timeout
                                 : VerbError::Kind::RetriesExhausted,
                       lastFailStatus_};
+            endVerbSpan();
             co_return;
         }
         thr_.verbRetries.add();
+        sim::SpanTracer *sp = opSpan_ != 0 ? rt_.sim().spans() : nullptr;
+        if (sp != nullptr)
+            retrySpan_ = sp->begin(track_, sim::Stage::RetryRound,
+                                   verbSpan_ != 0 ? verbSpan_ : opSpan_);
         std::uint64_t cycles = backoffCycles(
             cfg.backoffUnitCycles,
             cfg.backoffUnitCycles * cfg.backoffMaxFactor, attempt,
             thr_.rng());
         ++attempt;
+        Time backoff_t0 = sim().now();
         co_await sim().delay(sim::cyclesToNs(cycles));
+        if (sp != nullptr)
+            sp->record(track_, sim::Stage::BackoffSleep, currentSpan(),
+                       backoff_t0, sim().now());
 
         // New round: stragglers of the old one only return credits.
         // retryBuf_ swaps with failed_ instead of replacing it, so both
@@ -318,9 +345,14 @@ SmartCtx::sync()
         }
         co_await postSend();
         co_await awaitRound();
+        if (retrySpan_ != 0) {
+            sp->end(retrySpan_);
+            retrySpan_ = 0;
+        }
         timed_out = timed_out || timedOut_;
         timedOut_ = false;
     }
+    endVerbSpan();
 }
 
 Task
@@ -378,14 +410,22 @@ SmartCtx::backoffCasSync(RemotePtr dst, std::uint64_t expect,
         // The coroutine yields for the backoff window (sibling coroutines
         // keep the thread busy); concurrency reduction under contention
         // is the coroutine gate's job.
+        Time t0 = sim().now();
         co_await sim().delay(sim::cyclesToNs(cycles));
+        if (opSpan_ != 0)
+            rt_.sim().spans()->record(track_, sim::Stage::BackoffSleep,
+                                      currentSpan(), t0, sim().now());
     }
 }
 
 Task
 SmartCtx::compute(Time d)
 {
+    Time t0 = sim().now();
     co_await thr_.simThread().compute(d);
+    if (opSpan_ != 0)
+        rt_.sim().spans()->record(track_, sim::Stage::Cpu, currentSpan(),
+                                  t0, sim().now());
 }
 
 Task
@@ -393,13 +433,41 @@ SmartCtx::opBegin()
 {
     // Each application op starts with a clean failure slate.
     clearError();
+    sim::SpanTracer *sp = rt_.sim().spans();
+    if (sp != nullptr && opSampleCount_++ % sp->sampleEvery() == 0) {
+        if (track_ == 0) {
+            std::string thread =
+                rt_.name() + "/t" + std::to_string(thr_.id());
+            track_ = sp->internTrack(
+                thread + "/c" + std::to_string(coroIdx_), thread);
+        }
+        opSpan_ = sp->begin(track_, sim::Stage::Op, 0);
+        Time t0 = sim().now();
+        co_await thr_.coroGate().acquire();
+        sp->record(track_, sim::Stage::GateWait, opSpan_, t0, sim().now());
+        co_return;
+    }
     co_await thr_.coroGate().acquire();
 }
 
 void
 SmartCtx::opEnd()
 {
+    if (opSpan_ != 0) {
+        endVerbSpan(); // defensive: an errored op may skip sync()'s close
+        rt_.sim().spans()->end(opSpan_);
+        opSpan_ = 0;
+    }
     thr_.coroGate().release();
+}
+
+void
+SmartCtx::endVerbSpan()
+{
+    if (verbSpan_ != 0) {
+        rt_.sim().spans()->end(verbSpan_);
+        verbSpan_ = 0;
+    }
 }
 
 } // namespace smart

@@ -157,6 +157,9 @@ class SmartCtx
      *  audit; stops moving once the buffers are warm). */
     std::uint64_t trackBufGrowths() const { return trackBufGrowths_; }
 
+    /** Open span of the current sampled op (0 = untraced; tests). */
+    sim::SpanId opSpan() const { return opSpan_; }
+
   private:
     friend class SmartRuntime;
 
@@ -179,6 +182,18 @@ class SmartCtx
     /** Re-stage @p t into the (bumped) current round, rkey refreshed. */
     void restage(TrackedWr t);
 
+    /** Deepest open span of this coroutine (attribution parent). */
+    sim::SpanId
+    currentSpan() const
+    {
+        if (retrySpan_ != 0)
+            return retrySpan_;
+        return verbSpan_ != 0 ? verbSpan_ : opSpan_;
+    }
+
+    /** Close the open verb span (called at every sync() exit). */
+    void endVerbSpan();
+
     SmartRuntime &rt_;
     SmartThread &thr_;
     std::uint32_t coroIdx_;
@@ -194,6 +209,14 @@ class SmartCtx
     std::uint32_t casFailStreak_ = 0;
     /** Landing slot for casSync (must outlive abandoned rounds). */
     std::uint64_t casLanding_ = 0;
+
+    // ---- span recording (all zero unless a SpanTracer is installed
+    //      and the current op is sampled; see sim/span.hpp) ----
+    sim::TrackId track_ = 0;      ///< this coroutine's track (lazy)
+    sim::SpanId opSpan_ = 0;      ///< open op span
+    sim::SpanId verbSpan_ = 0;    ///< open verb span (stage..sync)
+    sim::SpanId retrySpan_ = 0;   ///< open retry-round span
+    std::uint64_t opSampleCount_ = 0; ///< every-Nth-op sampling counter
 
     // ---- failure tracking (populated only under a FaultPlane) ----
     std::vector<TrackedWr> inflight_;

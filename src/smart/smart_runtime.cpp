@@ -151,6 +151,18 @@ SmartThread::flushLoop(std::uint32_t blade_idx)
             co_await qp.postSend(simThread_, std::move(batch));
             continue;
         }
+        // Credit stalls attribute to the first traced WR's op (the grant
+        // unblocks the whole batch). Scanned only with a tracer installed.
+        sim::SpanTracer *sp = rt_.sim().spans();
+        sim::SpanId traced = 0;
+        if (sp != nullptr) {
+            for (const rnic::WorkReq &wr : batch) {
+                if (wr.traceSpan != 0) {
+                    traced = wr.traceSpan;
+                    break;
+                }
+            }
+        }
         // SMARTPOSTSEND (Algorithm 1): credits gate how much of the
         // buffer may be outstanding; oversized buffers go out in
         // credit-sized chunks (more WRs may accumulate meanwhile and
@@ -158,8 +170,12 @@ SmartThread::flushLoop(std::uint32_t blade_idx)
         std::size_t i = 0;
         while (i < batch.size()) {
             std::uint32_t granted = 0;
+            Time credit_t0 = rt_.sim().now();
             co_await acquireCredit(
                 static_cast<std::uint32_t>(batch.size() - i), granted);
+            if (traced != 0)
+                sp->record(sp->trackOf(traced), sim::Stage::CreditWait,
+                           traced, credit_t0, rt_.sim().now());
             if (i == 0 && granted == batch.size()) {
                 // Full grant: post the whole batch without a chunk copy.
                 co_await qp.postSend(simThread_, std::move(batch));

@@ -123,12 +123,28 @@ Qp::postSend(SimThread &thr, std::vector<WorkReq> wrs)
                    cfg.wqeBuildNs * static_cast<Time>(wrs.size());
     co_await sim.delay(qp_cost);
 
+    // Doorbell arbitration attributes to the first traced WR's op (the
+    // ring serves the whole batch). Scanned only with a tracer installed.
+    sim::SpanId traced = 0;
+    sim::SpanTracer *sp = sim.spans();
+    if (sp != nullptr) {
+        for (const WorkReq &wr : wrs) {
+            if (wr.traceSpan != 0) {
+                traced = wr.traceSpan;
+                break;
+            }
+        }
+    }
+
     // Ring the doorbell: MMIO write under the UAR spinlock. When several
     // threads' QPs share this UAR the handoff serializes them — the
     // paper's "implicit doorbell contention".
     Time wait_start = sim.now();
     co_await uar_->lock.acquire();
     Time waited = sim.now() - wait_start;
+    if (traced != 0)
+        sp->record(sp->trackOf(traced), sim::Stage::DoorbellWait, traced,
+                   wait_start, sim.now());
     ctx_.rnic().perf().doorbellWaitNs.add(waited);
     ctx_.rnic().perf().doorbellRings.add();
     if (dbWaitSink_)

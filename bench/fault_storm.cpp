@@ -46,7 +46,8 @@ stormWorker(SmartCtx &ctx, std::uint32_t num_blades, std::uint64_t seed,
         std::uint64_t off = rng.uniform(slots) * 64;
         Time start = ctx.sim().now();
         co_await ctx.opBegin();
-        co_await ctx.readSync(rt.ptr(blade, off), buf, 64);
+        co_await ctx.access(rt.ptr(blade, off),
+                            AccessOp::read(MemSpan{buf, 64}));
         bool failed = ctx.failed();
         if (failed)
             ctx.clearError();
@@ -86,6 +87,7 @@ main(int argc, char **argv)
     cfg.bladeBytes = region;
     cfg.smart = presets::full();
     cfg.smart.withBenchTimescale();
+    cli.configureCache(cfg.smart);
     cfg.smart.corosPerThread = coros;
     RunCapture *cap = cli.nextCapture("storm");
     if (cap != nullptr) {

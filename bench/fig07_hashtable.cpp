@@ -20,6 +20,7 @@ namespace {
 
 std::uint64_t g_seed = 0;           // from BenchCli --seed
 std::uint32_t g_span_every = 0;     // from BenchCli --trace-spans
+const BenchCli *g_cli = nullptr;    // for --cache-* flags
 
 HtBenchResult
 run(std::uint32_t compute_blades, std::uint32_t threads, bool smart_on,
@@ -33,6 +34,7 @@ run(std::uint32_t compute_blades, std::uint32_t threads, bool smart_on,
     cfg.bladeBytes = 3ull << 30;
     cfg.smart = smart_on ? presets::full() : presets::baseline();
     cfg.smart.withBenchTimescale();
+    g_cli->configureCache(cfg.smart);
     cfg.spanSampleEvery = g_span_every;
 
     HtBenchParams p;
@@ -52,6 +54,7 @@ main(int argc, char **argv)
     BenchCli cli(argc, argv, "fig07_hashtable");
     g_seed = cli.seed();
     g_span_every = cli.spanSampleEvery();
+    g_cli = &cli;
     bool quick = cli.quick();
     std::uint64_t keys = quick ? 200'000 : 1'000'000;
 

@@ -59,6 +59,7 @@ main(int argc, char **argv)
                 cfg.bladeBytes = 3ull << 30;
                 cfg.smart = s.cfg;
                 cfg.smart.withBenchTimescale();
+                cli.configureCache(cfg.smart);
                 cli.configureSpans(cfg);
 
                 HtBenchParams p;

@@ -42,6 +42,7 @@ main(int argc, char **argv)
             cfg.bladeBytes = 3ull << 30;
             cfg.smart = smart_on ? presets::full() : presets::baseline();
             cfg.smart.withBenchTimescale();
+            cli.configureCache(cfg.smart);
             cli.configureSpans(cfg);
 
             HtBenchParams p;

@@ -21,6 +21,7 @@ namespace {
 
 std::uint64_t g_seed = 0;       // from BenchCli --seed
 std::uint32_t g_span_every = 0; // from BenchCli --trace-spans
+const BenchCli *g_cli = nullptr; // for --cache-* flags
 
 struct Variant
 {
@@ -54,6 +55,7 @@ run(const SmartConfig &smart, std::uint32_t threads, std::uint64_t keys,
     cfg.bladeBytes = 3ull << 30;
     cfg.smart = smart;
     cfg.smart.withBenchTimescale();
+    g_cli->configureCache(cfg.smart);
     cfg.spanSampleEvery = g_span_every;
 
     HtBenchParams p;
@@ -73,6 +75,7 @@ main(int argc, char **argv)
     BenchCli cli(argc, argv, "fig14_conflict");
     g_seed = cli.seed();
     g_span_every = cli.spanSampleEvery();
+    g_cli = &cli;
     bool quick = cli.quick();
     std::uint64_t keys = quick ? 200'000 : 1'000'000;
     std::vector<Variant> vars = variants();

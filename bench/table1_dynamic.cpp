@@ -51,7 +51,7 @@ dynWorker(SmartCtx &ctx, const Shared &shared, std::uint32_t batch,
             continue;
         }
         for (std::uint32_t i = 0; i < batch; ++i)
-            ctx.read(rt.ptr(0, rng.uniform(slots) * 64), buf + i * 8, 8);
+            ctx.read(rt.ptr(0, rng.uniform(slots) * 64), MemSpan{buf + i * 8, 8});
         co_await ctx.postSend();
         co_await ctx.sync();
     }

@@ -31,11 +31,13 @@ helloRemoteMemory(SmartCtx &ctx, Testbed &tb)
     std::uint64_t off = tb.memBlade(0).alloc(64);
     RemotePtr p = rt.ptr(0, off);
 
-    // One-sided WRITE then READ.
+    // One-sided WRITE then READ through the unified access API. With a
+    // cache configured (SmartConfig::withCacheMb), Cached reads of hot
+    // lines are served from the compute-side buffer pool.
     const char msg[] = "hello, disaggregated world";
-    co_await ctx.writeSync(p, msg, sizeof(msg));
+    co_await ctx.access(p, AccessOp::write(ConstMemSpan{msg, sizeof(msg)}));
     char readback[64] = {};
-    co_await ctx.readSync(p, readback, sizeof(msg));
+    co_await ctx.access(p, AccessOp::read(MemSpan{readback, sizeof(msg)}));
     std::printf("READ back: \"%s\"\n", readback);
 
     // Batched ops: stage several verbs, one doorbell, one sync.
@@ -43,8 +45,8 @@ helloRemoteMemory(SmartCtx &ctx, Testbed &tb)
     std::memset(tb.memBlade(1).bytesAt(counter_off), 0, 8);
     RemotePtr counter = rt.ptr(1, counter_off);
     std::uint64_t faa_old = 0;
-    ctx.write(p, msg, sizeof(msg)); // blade 0
-    ctx.faa(counter, 5, &faa_old);  // blade 1, same batch
+    ctx.write(p, ConstMemSpan{msg, sizeof(msg)}); // blade 0
+    ctx.faa(counter, 5, &faa_old); // blade 1, same batch
     co_await ctx.postSend();
     co_await ctx.sync();
     std::printf("FAA returned old value %llu\n",

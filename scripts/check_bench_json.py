@@ -75,6 +75,10 @@ def validate(report):
             if m["name"].startswith("smart.thread."):
                 check("thread" in m.get("labels", {}),
                       f"{m['name']} must carry a thread label")
+            if m["name"].startswith("smart.cache."):
+                labels = m.get("labels", {})
+                check("blade" in labels and "policy" in labels,
+                      f"{m['name']} must carry blade + policy labels")
         if {"smart.thread.doorbell_wait_ns",
                 "smart.thread.wqe_refetches"} <= names:
             saw_thread_metrics = True
@@ -106,6 +110,8 @@ def validate(report):
               "no run has a C_max + t_max timeline with >= 5 samples")
     if report["bench"] == "fault_storm":
         validate_fault_storm(report)
+    if report["bench"] == "cache_crossover":
+        validate_cache_crossover(report)
     print(f"check_bench_json: OK: {report['bench']} "
           f"({len(report['tables'])} tables, {len(report['runs'])} runs)")
 
@@ -200,6 +206,68 @@ def validate_fault_storm(report):
           f"post-recovery throughput ratio {ratio} < 0.9")
     check(float(row[cols["during_mops"]]) > 0,
           "throughput collapsed to zero during the fault")
+
+
+def validate_cache_crossover(report):
+    """The cache tier must show the paper-shaped crossover, not just run.
+
+    Gates (per ISSUE 6 acceptance): at theta >= 0.9 the cached arm must
+    deliver >= 2x no-cache ops/s at >= 80% hit ratio; at theta == 0 the
+    cached arm must never fall below 0.95x no-cache (cache overhead on a
+    thrashing workload stays bounded) and the pool must actually evict
+    (otherwise the theta=0 bound is vacuous because everything fit).
+    """
+    tables = {t["name"]: t for t in report["tables"]}
+
+    cx = tables.get("cache_crossover")
+    check(cx is not None, "cache_crossover report missing crossover table")
+    cols = {name: i for i, name in enumerate(cx["header"])}
+    for col in ("theta", "nocache_mops", "cached_mops", "speedup",
+                "hit_ratio", "evictions"):
+        check(col in cols, f"cache_crossover missing column {col!r}")
+    check(len(cx["rows"]) >= 2, "cache_crossover needs >= 2 theta rows")
+    saw_skewed = False
+    for row in cx["rows"]:
+        theta = float(row[cols["theta"]])
+        speedup = float(row[cols["speedup"]])
+        hit = float(row[cols["hit_ratio"]])
+        if theta >= 0.9:
+            saw_skewed = True
+            check(speedup >= 2.0,
+                  f"theta {theta}: cached speedup {speedup} < 2.0")
+            check(hit >= 0.8,
+                  f"theta {theta}: hit ratio {hit} < 0.8")
+        if theta == 0.0:
+            check(speedup >= 0.95,
+                  f"theta 0: cached {speedup}x no-cache regresses > 5%")
+            check(int(row[cols["evictions"]]) > 0,
+                  "theta 0: no evictions — pool fits the uniform working "
+                  "set, so the overhead bound is vacuous")
+    check(saw_skewed, "cache_crossover has no theta >= 0.9 row")
+
+    shift = tables.get("cache_skew_shift")
+    check(shift is not None,
+          "cache_crossover report missing cache_skew_shift table")
+    cols = {name: i for i, name in enumerate(shift["header"])}
+    for col in ("run", "mops", "hit_ratio"):
+        check(col in cols, f"cache_skew_shift missing column {col!r}")
+    seen = [row[cols["run"]] for row in shift["rows"]]
+    check(seen == ["steady", "shifted"],
+          f"cache_skew_shift rows must be steady/shifted, got {seen}")
+    for row in shift["rows"]:
+        check(float(row[cols["mops"]]) > 0,
+              f"skew-shift run {row[cols['run']]}: zero throughput")
+        check(float(row[cols["hit_ratio"]]) >= 0.8,
+              f"skew-shift run {row[cols['run']]}: hit ratio "
+              f"{row[cols['hit_ratio']]} < 0.8 — pool did not re-converge")
+
+    cached_hits = 0
+    for run in report["runs"]:
+        for m in run.get("metrics", []):
+            if m.get("name") == "smart.cache.hits":
+                cached_hits += int(m.get("value", 0))
+    check(cached_hits > 0,
+          "no run carries a non-zero smart.cache.hits counter")
 
 
 def main(argv):

@@ -8,6 +8,7 @@
 #include <cassert>
 
 #include "apps/race/race_layout.hpp" // mix64
+#include "smart/cache/buffer_manager.hpp"
 
 namespace smart::ford {
 
@@ -264,17 +265,27 @@ Dtx::addWrite(DtxTable &table, std::uint64_t key)
 Task
 Dtx::fetch(DtxResult &res)
 {
-    // Execution phase: all READs ride one doorbell batch.
-    for (Item &it : reads_) {
-        ctx_.read(primaryPtr(it), &it.img, sizeof(Record));
-        ++res.rdmaOps;
+    // Execution phase: all READs ride one doorbell batch. Execute-phase
+    // images may be served by the cache tier: staleness is caught by the
+    // validate phase exactly like any other stale snapshot, and commit
+    // writes / lock CASes keep resident lines coherent.
+    res.rdmaOps += reads_.size() + writes_.size();
+    if (reads_.size() + writes_.size() <= cache::kMaxParts) {
+        ReadPart parts[cache::kMaxParts];
+        std::uint32_t n = 0;
+        for (Item &it : reads_)
+            parts[n++] = {primaryPtr(it), MemSpan::of(it.img)};
+        for (Item &it : writes_)
+            parts[n++] = {primaryPtr(it), MemSpan::of(it.img)};
+        co_await ctx_.accessMany(parts, n, CachePolicy::Cached);
+    } else {
+        for (Item &it : reads_)
+            ctx_.read(primaryPtr(it), MemSpan::of(it.img));
+        for (Item &it : writes_)
+            ctx_.read(primaryPtr(it), MemSpan::of(it.img));
+        co_await ctx_.postSend();
+        co_await ctx_.sync();
     }
-    for (Item &it : writes_) {
-        ctx_.read(primaryPtr(it), &it.img, sizeof(Record));
-        ++res.rdmaOps;
-    }
-    co_await ctx_.postSend();
-    co_await ctx_.sync();
     if (ctx_.failed()) {
         // Verb retries exhausted (e.g. blade down): the images are not
         // trustworthy. Abort; the caller re-runs the transaction.
@@ -291,7 +302,7 @@ Dtx::releaseLocks(DtxResult &res)
     bool any = false;
     for (Item &it : writes_) {
         if (it.locked) {
-            ctx_.write(primaryPtr(it), &zero, 8);
+            ctx_.write(primaryPtr(it), ConstMemSpan::of(zero));
             ++res.rdmaOps;
             it.locked = false;
             any = true;
@@ -334,13 +345,14 @@ Dtx::commit(DtxResult &res)
     // ---- Validate phase: versions of everything must be unchanged ----
     std::vector<Record> current(reads_.size() + writes_.size());
     {
+        // Validation must observe live versions: bypass the cache tier.
         std::size_t i = 0;
         for (Item &it : reads_) {
-            ctx_.read(primaryPtr(it), &current[i++], sizeof(Record));
+            ctx_.read(primaryPtr(it), MemSpan::of(current[i++]));
             ++res.rdmaOps;
         }
         for (Item &it : writes_) {
-            ctx_.read(primaryPtr(it), &current[i++], sizeof(Record));
+            ctx_.read(primaryPtr(it), MemSpan::of(current[i++]));
             ++res.rdmaOps;
         }
         co_await ctx_.postSend();
@@ -402,12 +414,12 @@ Dtx::commit(DtxResult &res)
                                       sys_.logOffset(
                                           it.table->primaryBlade(), tid) +
                                           log_slot),
-                   &entry, sizeof(LogEntry));
+                   ConstMemSpan::of(entry));
         ctx_.write(ctx_.runtime().ptr(it.table->backupBlade(),
                                       sys_.logOffset(
                                           it.table->backupBlade(), tid) +
                                           log_slot),
-                   &entry, sizeof(LogEntry));
+                   ConstMemSpan::of(entry));
         res.rdmaOps += 2;
         log_slot += sizeof(LogEntry);
     }
@@ -427,8 +439,8 @@ Dtx::commit(DtxResult &res)
 
     // ---- Commit-write phase: the same final images, both replicas ----
     for (Item &it : writes_) {
-        ctx_.write(primaryPtr(it), &it.img, sizeof(Record));
-        ctx_.write(backupPtr(it), &it.img, sizeof(Record));
+        ctx_.write(primaryPtr(it), ConstMemSpan::of(it.img));
+        ctx_.write(backupPtr(it), ConstMemSpan::of(it.img));
         res.rdmaOps += 2;
         it.locked = false;
     }
@@ -457,10 +469,11 @@ Dtx::validateReadOnly(DtxResult &res, bool &consistent)
         consistent = true; // single READ is an atomic snapshot
         co_return;
     }
+    // Read-only validation also needs live versions: no cache.
     std::vector<Record> current(reads_.size());
     std::size_t i = 0;
     for (Item &it : reads_) {
-        ctx_.read(primaryPtr(it), &current[i++], sizeof(Record));
+        ctx_.read(primaryPtr(it), MemSpan::of(current[i++]));
         ++res.rdmaOps;
     }
     co_await ctx_.postSend();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "memblade/memory_blade.hpp"
+#include "smart/cache/buffer_manager.hpp"
 #include "smart/smart_ctx.hpp"
 #include "smart/smart_runtime.hpp"
 
@@ -62,21 +63,38 @@ class ParamServer
 
     /**
      * Fetch @p rows into @p out (row-major, dim() values per row).
-     * All READs ride one doorbell batch.
+     * All READs ride one doorbell batch; with the cache tier enabled,
+     * hot embedding rows are served from the compute-side buffer pool
+     * (push FAAs invalidate their covering lines, so pulls never see
+     * values older than the worker's own pushes).
      */
     sim::Task
     pull(SmartCtx &ctx, const std::vector<std::uint64_t> &rows,
          std::vector<std::int64_t> &out)
     {
         out.resize(rows.size() * dim_);
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            ctx.read(ctx.runtime().ptr(shardOf(rows[i]),
-                                       rowOffset(rows[i])),
-                     out.data() + i * dim_,
-                     static_cast<std::uint32_t>(rowBytes_));
+        if (ctx.runtime().cache() == nullptr) {
+            for (std::size_t i = 0; i < rows.size(); ++i) {
+                ctx.read(ctx.runtime().ptr(shardOf(rows[i]),
+                                           rowOffset(rows[i])),
+                         MemSpan::ofArray(out.data() + i * dim_, dim_));
+            }
+            co_await ctx.postSend();
+            co_await ctx.sync();
+            co_return;
         }
-        co_await ctx.postSend();
-        co_await ctx.sync();
+        std::size_t i = 0;
+        while (i < rows.size()) {
+            ReadPart parts[cache::kMaxParts];
+            std::uint32_t n = 0;
+            while (i < rows.size() && n < cache::kMaxParts) {
+                parts[n++] = {ctx.runtime().ptr(shardOf(rows[i]),
+                                                rowOffset(rows[i])),
+                              MemSpan::ofArray(out.data() + i * dim_, dim_)};
+                ++i;
+            }
+            co_await ctx.accessMany(parts, n, CachePolicy::Cached);
+        }
     }
 
     /**

@@ -369,8 +369,11 @@ Task
 RaceClient::refreshDirectory(SmartCtx &ctx, OpResult &res)
 {
     ++dirRefreshes_;
+    // Directory metadata must be fresh: always bypass the cache tier.
     std::uint64_t gd_word = 0;
-    co_await ctx.readSync(bladePtr(0, table_.gdOffset()), &gd_word, 8);
+    co_await ctx.access(bladePtr(0, table_.gdOffset()),
+                        AccessOp::read(MemSpan::of(gd_word)),
+                        CachePolicy::Bypass);
     ++res.rdmaOps;
     if (ctx.failed()) {
         // Directory blade unreachable: keep the stale cache; the
@@ -381,8 +384,10 @@ RaceClient::refreshDirectory(SmartCtx &ctx, OpResult &res)
     std::uint32_t gd = static_cast<std::uint32_t>(gd_word & 0xffffffff);
     // One big READ of the live prefix of the directory.
     std::vector<std::uint64_t> raw(1ull << gd);
-    co_await ctx.readSync(bladePtr(0, table_.dirOffset()), raw.data(),
-                          static_cast<std::uint32_t>(raw.size() * 8));
+    co_await ctx.access(bladePtr(0, table_.dirOffset()),
+                        AccessOp::read(MemSpan::ofArray(raw.data(),
+                                                        raw.size())),
+                        CachePolicy::Bypass);
     ++res.rdmaOps;
     if (ctx.failed()) {
         ctx.clearError();
@@ -396,15 +401,17 @@ RaceClient::refreshDirectory(SmartCtx &ctx, OpResult &res)
 
 Task
 RaceClient::readGroups(SmartCtx &ctx, const GroupRef &g1, const GroupRef &g2,
-                       GroupImage &i1, GroupImage &i2, OpResult &res)
+                       GroupImage &i1, GroupImage &i2, OpResult &res,
+                       CachePolicy pol)
 {
     std::uint8_t *buf = ctx.scratch(2 * kGroupBytes);
-    ctx.read(bladePtr(g1.seg.blade(), g1.bladeOffset), buf, kGroupBytes);
-    ctx.read(bladePtr(g2.seg.blade(), g2.bladeOffset), buf + kGroupBytes,
-             kGroupBytes);
+    ReadPart parts[2] = {
+        {bladePtr(g1.seg.blade(), g1.bladeOffset), {buf, kGroupBytes}},
+        {bladePtr(g2.seg.blade(), g2.bladeOffset),
+         {buf + kGroupBytes, kGroupBytes}},
+    };
     res.rdmaOps += 2;
-    co_await ctx.postSend();
-    co_await ctx.sync();
+    co_await ctx.accessMany(parts, 2, pol);
     i1 = parseGroup(buf);
     i2 = parseGroup(buf + kGroupBytes);
 }
@@ -420,10 +427,12 @@ RaceClient::findKey(SmartCtx &ctx, std::uint64_t key, const GroupRef &gref,
         const Slot &slot = img.slots[s];
         if (slot.empty() || slot.fp() != fp)
             continue;
-        // Fetch the KV block to confirm (fingerprints can collide).
+        // Fetch the KV block to confirm (fingerprints can collide). KV
+        // blocks are written out of place (a fresh block per insert), so
+        // cached copies can never go stale.
         std::uint8_t kv[kKvBytes] = {};
-        co_await ctx.readSync(bladePtr(slot.blade(), slot.offset()), kv,
-                              kKvBytes);
+        co_await ctx.access(bladePtr(slot.blade(), slot.offset()),
+                            AccessOp::read(MemSpan{kv, kKvBytes}));
         ++res.rdmaOps;
         if (ctx.failed()) {
             // KV blade unreachable: skip this candidate (the bytes never
@@ -459,7 +468,9 @@ RaceClient::lookup(SmartCtx &ctx, std::uint64_t key, OpResult &res)
         GroupRef g1 = locate(h1, dir_idx);
         GroupRef g2 = locate(h2, dir_idx);
         GroupImage i1, i2;
-        co_await readGroups(ctx, g1, g2, i1, i2, res);
+        co_await readGroups(ctx, g1, g2, i1, i2, res,
+                            attempt == 0 ? CachePolicy::Cached
+                                         : CachePolicy::Bypass);
         if (ctx.failed()) {
             // Segment read failed after retries (e.g. blade restarted):
             // the cached directory may be stale; re-read it and retry.
@@ -519,12 +530,14 @@ RaceClient::insert(SmartCtx &ctx, std::uint64_t key, std::uint64_t value,
         // RACE pipelines the KV write with the two bucket READs in one
         // doorbell batch.
         if (!kv_written) {
-            ctx.write(bladePtr(ta.blade, kv_off), kv, kKvBytes);
+            ctx.write(bladePtr(ta.blade, kv_off), ConstMemSpan{kv, kKvBytes});
             ++res.rdmaOps;
             kv_written = true;
         }
         GroupImage i1, i2;
-        co_await readGroups(ctx, g1, g2, i1, i2, res);
+        co_await readGroups(ctx, g1, g2, i1, i2, res,
+                            attempt == 0 ? CachePolicy::Cached
+                                         : CachePolicy::Bypass);
         if (ctx.failed()) {
             ctx.clearError();
             kv_written = false; // the batched KV write may have failed too
@@ -628,7 +641,9 @@ RaceClient::remove(SmartCtx &ctx, std::uint64_t key, OpResult &res)
         GroupRef g1 = locate(h1, dir_idx);
         GroupRef g2 = locate(h2, dir_idx);
         GroupImage i1, i2;
-        co_await readGroups(ctx, g1, g2, i1, i2, res);
+        co_await readGroups(ctx, g1, g2, i1, i2, res,
+                            attempt == 0 ? CachePolicy::Cached
+                                         : CachePolicy::Bypass);
         if (ctx.failed()) {
             ctx.clearError();
             co_await refreshDirectory(ctx, res);
@@ -706,7 +721,9 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
 
     // 2. Directory doubling if this segment is at global depth.
     std::uint64_t gd_word = 0;
-    co_await ctx.readSync(bladePtr(0, table_.gdOffset()), &gd_word, 8);
+    co_await ctx.access(bladePtr(0, table_.gdOffset()),
+                        AccessOp::read(MemSpan::of(gd_word)),
+                        CachePolicy::Bypass);
     ++res.rdmaOps;
     std::uint32_t gd = static_cast<std::uint32_t>(gd_word);
     if (ld == gd) {
@@ -717,14 +734,17 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
                                         0, 1, o, dir_locked);
             ++res.rdmaOps;
         }
-        co_await ctx.readSync(bladePtr(0, table_.gdOffset()), &gd_word, 8);
+        co_await ctx.access(bladePtr(0, table_.gdOffset()),
+                            AccessOp::read(MemSpan::of(gd_word)),
+                            CachePolicy::Bypass);
         gd = static_cast<std::uint32_t>(gd_word);
         if (ld == gd) {
             assert(gd + 1 <= cfg.maxDepth && "directory capacity");
             std::vector<std::uint64_t> raw(1ull << gd);
-            co_await ctx.readSync(bladePtr(0, table_.dirOffset()),
-                                  raw.data(),
-                                  static_cast<std::uint32_t>(raw.size() * 8));
+            co_await ctx.access(bladePtr(0, table_.dirOffset()),
+                                AccessOp::read(MemSpan::ofArray(raw.data(),
+                                                                raw.size())),
+                                CachePolicy::Bypass);
             // Mirror the lower half into the upper half, chunked to fit
             // coroutine scratch.
             std::uint64_t upper = table_.dirOffset() + (8ull << gd);
@@ -732,19 +752,23 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
             for (std::uint64_t i = 0; i < raw.size(); i += chunk) {
                 std::uint32_t n = static_cast<std::uint32_t>(
                     std::min<std::uint64_t>(chunk, raw.size() - i));
-                co_await ctx.writeSync(bladePtr(0, upper + i * 8),
-                                       raw.data() + i, n * 8);
+                co_await ctx.access(
+                    bladePtr(0, upper + i * 8),
+                    AccessOp::write(ConstMemSpan::ofArray(raw.data() + i, n)),
+                    CachePolicy::Bypass);
                 ++res.rdmaOps;
             }
             std::uint64_t new_gd = gd + 1;
-            co_await ctx.writeSync(bladePtr(0, table_.gdOffset()), &new_gd,
-                                   8);
+            co_await ctx.access(bladePtr(0, table_.gdOffset()),
+                                AccessOp::write(ConstMemSpan::of(new_gd)),
+                                CachePolicy::Bypass);
             ++res.rdmaOps;
             gd = static_cast<std::uint32_t>(new_gd);
         }
         std::uint64_t zero = 0;
-        co_await ctx.writeSync(bladePtr(0, table_.dirLockOffset()), &zero,
-                               8);
+        co_await ctx.access(bladePtr(0, table_.dirLockOffset()),
+                            AccessOp::write(ConstMemSpan::of(zero)),
+                            CachePolicy::Bypass);
         ++res.rdmaOps;
     }
 
@@ -768,12 +792,15 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
         std::memcpy(gbuf.data(), &nh.raw, 8);
         std::memcpy(gbuf.data() + kBucketBytes, &nh.raw, 8);
         std::vector<std::uint8_t> hdr_zero(kSegmentHeaderBytes, 0);
-        co_await ctx.writeSync(bladePtr(nb, new_off), hdr_zero.data(),
-                               kSegmentHeaderBytes);
+        co_await ctx.access(
+            bladePtr(nb, new_off),
+            AccessOp::write(ConstMemSpan{hdr_zero.data(),
+                                         kSegmentHeaderBytes}),
+            CachePolicy::Bypass);
         ++res.rdmaOps;
         for (std::uint32_t g = 0; g < cfg.groupsPerSegment; ++g) {
-            ctx.write(bladePtr(nb, new_off + groupOffset(g)), gbuf.data(),
-                      kGroupBytes);
+            ctx.write(bladePtr(nb, new_off + groupOffset(g)),
+                      ConstMemSpan{gbuf.data(), kGroupBytes});
             ++res.rdmaOps;
             if ((g & 15) == 15 || g + 1 == cfg.groupsPerSegment) {
                 co_await ctx.postSend();
@@ -789,7 +816,7 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
         for (std::uint32_t b = 0; b < kBucketsPerGroup; ++b) {
             ctx.write(bladePtr(e.blade(), e.offset() + groupOffset(g) +
                                               b * kBucketBytes),
-                      &splitting_hdr.raw, 8);
+                      ConstMemSpan::of(splitting_hdr.raw));
             ++res.rdmaOps;
         }
         if ((g & 15) == 15 || g + 1 == cfg.groupsPerSegment) {
@@ -805,9 +832,10 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
         moved_any = false;
         for (std::uint32_t g = 0; g < cfg.groupsPerSegment; ++g) {
             std::uint8_t *buf = ctx.scratch(kGroupBytes);
-            co_await ctx.readSync(
-                bladePtr(e.blade(), e.offset() + groupOffset(g)), buf,
-                kGroupBytes);
+            co_await ctx.access(
+                bladePtr(e.blade(), e.offset() + groupOffset(g)),
+                AccessOp::read(MemSpan{buf, kGroupBytes}),
+                CachePolicy::Bypass);
             ++res.rdmaOps;
             GroupImage img = parseGroup(buf);
             for (std::uint32_t s = 0; s < kSlotsPerGroup; ++s) {
@@ -815,8 +843,9 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
                 if (slot.empty())
                     continue;
                 std::uint64_t k = 0;
-                co_await ctx.readSync(bladePtr(slot.blade(), slot.offset()),
-                                      &k, 8);
+                co_await ctx.access(bladePtr(slot.blade(), slot.offset()),
+                                    AccessOp::read(MemSpan::of(k)),
+                                    CachePolicy::Bypass);
                 ++res.rdmaOps;
                 if (((hash1(k) >> ld) & 1) == 0)
                     continue;
@@ -824,16 +853,17 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
                 // slot; a failed clear means a racing update -> rescan.
                 std::uint32_t t = new_fill[g]++;
                 assert(t < kSlotsPerGroup);
-                co_await ctx.writeSync(
+                co_await ctx.access(
                     bladePtr(nb, new_off + groupOffset(g) + slotOffset(t)),
-                    &slot.raw, 8);
+                    AccessOp::write(ConstMemSpan::of(slot.raw)),
+                    CachePolicy::Bypass);
                 ++res.rdmaOps;
                 std::uint64_t o = 0;
                 bool cleared = false;
-                co_await ctx.casSync(
+                co_await ctx.access(
                     bladePtr(e.blade(),
                              e.offset() + groupOffset(g) + slotOffset(s)),
-                    slot.raw, 0, o, cleared);
+                    AccessOp::cas(slot.raw, 0, o, cleared));
                 ++res.rdmaOps;
                 moved_any = true;
                 if (!cleared)
@@ -850,7 +880,8 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
         if ((j & mask(ld)) != suffix)
             continue;
         DirEntry v = ((j >> ld) & 1) ? ne : oe;
-        ctx.write(bladePtr(0, table_.dirOffset() + j * 8), &v.raw, 8);
+        ctx.write(bladePtr(0, table_.dirOffset() + j * 8),
+                  ConstMemSpan::of(v.raw));
         ++res.rdmaOps;
     }
     co_await ctx.postSend();
@@ -862,7 +893,7 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
         for (std::uint32_t b = 0; b < kBucketsPerGroup; ++b) {
             ctx.write(bladePtr(e.blade(), e.offset() + groupOffset(g) +
                                               b * kBucketBytes),
-                      &final_hdr.raw, 8);
+                      ConstMemSpan::of(final_hdr.raw));
             ++res.rdmaOps;
         }
         if ((g & 15) == 15 || g + 1 == cfg.groupsPerSegment) {
@@ -873,7 +904,8 @@ RaceClient::splitSegment(SmartCtx &ctx, std::uint64_t dir_idx, OpResult &res,
 
     // 8. Release the split lock.
     std::uint64_t zero = 0;
-    co_await ctx.writeSync(lock_ptr, &zero, 8);
+    co_await ctx.access(lock_ptr, AccessOp::write(ConstMemSpan::of(zero)),
+                        CachePolicy::Bypass);
     ++res.rdmaOps;
 
     co_await refreshDirectory(ctx, res);

@@ -173,10 +173,12 @@ class RaceClient
     /** Refresh the cached directory + global depth (1-2 READs). */
     sim::Task refreshDirectory(SmartCtx &ctx, OpResult &res);
 
-    /** READ both candidate groups (and optionally WRITE a KV) in one go. */
+    /** READ both candidate groups (and optionally WRITE a KV) in one go.
+     *  @p pol lets retry attempts bypass the cache tier: a retry caused
+     *  by a stale cached group must observe fresh bytes to converge. */
     sim::Task readGroups(SmartCtx &ctx, const GroupRef &g1,
                          const GroupRef &g2, GroupImage &i1, GroupImage &i2,
-                         OpResult &res);
+                         OpResult &res, CachePolicy pol = CachePolicy::Cached);
 
     /** Client-side extendible split of the segment covering @p dir_idx. */
     sim::Task splitSegment(SmartCtx &ctx, std::uint64_t dir_idx,

@@ -271,8 +271,11 @@ BtreeClient::rptr(std::uint32_t blade, std::uint64_t off) const
 Task
 BtreeClient::refreshRoot(SmartCtx &ctx, BtOpResult &res)
 {
+    // The root pointer is the tree's coherence anchor: never cached.
     std::uint64_t root = 0;
-    co_await ctx.readSync(rptr(0, index_.rootPtrOffset()), &root, 8);
+    co_await ctx.access(rptr(0, index_.rootPtrOffset()),
+                        AccessOp::read(MemSpan::of(root)),
+                        CachePolicy::Bypass);
     ++res.rdmaOps;
     cachedRoot_ = root;
     nodeCache_.clear();
@@ -280,10 +283,11 @@ BtreeClient::refreshRoot(SmartCtx &ctx, BtOpResult &res)
 
 Task
 BtreeClient::readNode(SmartCtx &ctx, std::uint64_t ptr, NodeImage &img,
-                      BtOpResult &res)
+                      BtOpResult &res, CachePolicy pol)
 {
     for (int attempt = 0; attempt < 16; ++attempt) {
-        co_await ctx.readSync(rptr(ptr), &img, kNodeBytes);
+        co_await ctx.access(rptr(ptr), AccessOp::read(MemSpan::of(img)),
+                            attempt == 0 ? pol : CachePolicy::Bypass);
         ++res.rdmaOps;
         if (versionsConsistent(img))
             co_return;
@@ -399,7 +403,9 @@ BtreeClient::hoclAcquire(SmartCtx &ctx, std::uint64_t ptr, BtOpResult &res)
             ctx.sim().now() - wait_start > lease) {
             // Stale lease: break the lock and re-contend for it.
             std::uint64_t zero = 0;
-            co_await ctx.writeSync(rptr(ptr), &zero, 8);
+            co_await ctx.access(rptr(ptr),
+                                AccessOp::write(ConstMemSpan::of(zero)),
+                                CachePolicy::Bypass);
             ++res.rdmaOps;
             if (ctx.failed())
                 ctx.clearError();
@@ -414,7 +420,8 @@ Task
 BtreeClient::hoclRelease(SmartCtx &ctx, std::uint64_t ptr, BtOpResult &res)
 {
     std::uint64_t zero = 0;
-    co_await ctx.writeSync(rptr(ptr), &zero, 8);
+    co_await ctx.access(rptr(ptr), AccessOp::write(ConstMemSpan::of(zero)),
+                        CachePolicy::Bypass);
     ++res.rdmaOps;
     if (ctx.failed()) {
         // Unlock lost (blade down): another writer's lease break will
@@ -442,9 +449,8 @@ BtreeClient::lookup(SmartCtx &ctx, std::uint64_t key, BtOpResult &res)
         if (it != specCache_.end()) {
             SpecEntry spec = it->second;
             EntryLine line;
-            co_await ctx.readSync(
-                rptr(spec.leafPtr) + lineOffset(spec.line), &line,
-                kLineBytes);
+            co_await ctx.access(rptr(spec.leafPtr) + lineOffset(spec.line),
+                                AccessOp::read(MemSpan::of(line)));
             ++res.rdmaOps;
             const Entry &e = line.entries[spec.slot];
             if (e.key == key) {
@@ -540,9 +546,11 @@ BtreeClient::insert(SmartCtx &ctx, std::uint64_t key, std::uint64_t value,
                 Entry &e = img.lines[l].entries[s];
                 if (e.key == key) {
                     Entry updated{key, value};
-                    co_await ctx.writeSync(rptr(leaf_ptr) + lineOffset(l) +
-                                               8 + s * sizeof(Entry),
-                                           &updated, sizeof(Entry));
+                    co_await ctx.access(
+                        rptr(leaf_ptr) + lineOffset(l) + 8 +
+                            s * sizeof(Entry),
+                        AccessOp::write(ConstMemSpan::of(updated)),
+                        CachePolicy::Bypass);
                     ++res.rdmaOps;
                     co_await hoclRelease(ctx, leaf_ptr, res);
                     res.ok = true;
@@ -558,10 +566,10 @@ BtreeClient::insert(SmartCtx &ctx, std::uint64_t key, std::uint64_t value,
 
         if (free_line >= 0) {
             Entry fresh{key, value};
-            co_await ctx.writeSync(
-                rptr(leaf_ptr) + lineOffset(free_line) + 8 +
-                    free_slot * sizeof(Entry),
-                &fresh, sizeof(Entry));
+            co_await ctx.access(rptr(leaf_ptr) + lineOffset(free_line) + 8 +
+                                    free_slot * sizeof(Entry),
+                                AccessOp::write(ConstMemSpan::of(fresh)),
+                                CachePolicy::Bypass);
             ++res.rdmaOps;
             co_await hoclRelease(ctx, leaf_ptr, res);
             res.ok = true;
@@ -597,9 +605,11 @@ BtreeClient::remove(SmartCtx &ctx, std::uint64_t key, BtOpResult &res)
             for (std::uint32_t s = 0; s < kEntriesPerLine; ++s) {
                 if (img.lines[l].entries[s].key == key) {
                     Entry tomb{}; // kEmptyKey
-                    co_await ctx.writeSync(rptr(leaf_ptr) + lineOffset(l) +
-                                               8 + s * sizeof(Entry),
-                                           &tomb, sizeof(Entry));
+                    co_await ctx.access(
+                        rptr(leaf_ptr) + lineOffset(l) + 8 +
+                            s * sizeof(Entry),
+                        AccessOp::write(ConstMemSpan::of(tomb)),
+                        CachePolicy::Bypass);
                     ++res.rdmaOps;
                     co_await hoclRelease(ctx, leaf_ptr, res);
                     specCache_.erase(key);
@@ -664,7 +674,9 @@ BtreeClient::splitNode(SmartCtx &ctx, std::uint64_t ptr, NodeImage img,
     packEntries(right,
                 std::vector<Entry>(entries.begin() + mid, entries.end()),
                 new_ver);
-    co_await ctx.writeSync(rptr(right_ptr), &right, kNodeBytes);
+    co_await ctx.access(rptr(right_ptr),
+                        AccessOp::write(ConstMemSpan::of(right)),
+                        CachePolicy::Bypass);
     ++res.rdmaOps;
 
     NodeImage left{};
@@ -676,7 +688,8 @@ BtreeClient::splitNode(SmartCtx &ctx, std::uint64_t ptr, NodeImage img,
     packEntries(left,
                 std::vector<Entry>(entries.begin(), entries.begin() + mid),
                 new_ver);
-    co_await ctx.writeSync(rptr(ptr), &left, kNodeBytes);
+    co_await ctx.access(rptr(ptr), AccessOp::write(ConstMemSpan::of(left)),
+                        CachePolicy::Bypass);
     ++res.rdmaOps;
 
     nodeCache_.erase(ptr);
@@ -713,7 +726,9 @@ BtreeClient::insertUpwards(SmartCtx &ctx, std::uint64_t target_level,
             img.header.lowFence = 0;
             img.header.highFence = kInfinity;
             packEntries(img, {Entry{0, root}, Entry{sep, new_ptr}}, 1);
-            co_await ctx.writeSync(rptr(new_root), &img, kNodeBytes);
+            co_await ctx.access(rptr(new_root),
+                                AccessOp::write(ConstMemSpan::of(img)),
+                                CachePolicy::Bypass);
             ++res.rdmaOps;
             std::uint64_t old_val = 0;
             bool ok = false;
@@ -773,7 +788,9 @@ BtreeClient::insertUpwards(SmartCtx &ctx, std::uint64_t target_level,
             NodeImage updated = img;
             updated.header.lock = 1;
             packEntries(updated, entries, img.header.version + 1);
-            co_await ctx.writeSync(rptr(ptr), &updated, kNodeBytes);
+            co_await ctx.access(rptr(ptr),
+                                AccessOp::write(ConstMemSpan::of(updated)),
+                                CachePolicy::Bypass);
             ++res.rdmaOps;
             nodeCache_.erase(ptr);
         }

@@ -176,9 +176,12 @@ class BtreeClient
                        std::uint64_t &leaf_ptr,
                        std::vector<std::uint64_t> &path, BtOpResult &res);
 
-    /** RDMA-read a whole node with version validation. */
+    /** RDMA-read a whole node with version validation. The first attempt
+     *  may hit the compute-side cache tier; validation retries bypass it
+     *  so a stale or torn cached image cannot starve the loop. */
     sim::Task readNode(SmartCtx &ctx, std::uint64_t ptr, NodeImage &img,
-                       BtOpResult &res);
+                       BtOpResult &res,
+                       CachePolicy pol = CachePolicy::Cached);
 
     /** Refresh the root pointer and drop all cached internals. */
     sim::Task refreshRoot(SmartCtx &ctx, BtOpResult &res);

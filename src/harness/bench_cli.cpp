@@ -26,6 +26,7 @@ usage(const std::string &bench, int exit_code)
     os << "usage: " << bench
        << " [--quick] [--json PATH] [--out-dir DIR] [--seed N] "
           "[--trace] [--trace-spans[=N]] [--flame PATH] [--perf]\n"
+          "  [--cache-mb N] [--cache-policy clock|fifo] [--no-cache]\n"
           "  --quick        reduced sweep for CI / smoke runs\n"
           "  --json PATH    write a smart-bench-report/v1 JSON report\n"
           "  --out-dir DIR  directory for CSV/JSON outputs (default .)\n"
@@ -39,7 +40,11 @@ usage(const std::string &bench, int exit_code)
           "  --flame PATH   write collapsed-stack flamegraph lines to "
           "PATH (implies --trace-spans)\n"
           "  --perf         print a wall-clock perf summary (always "
-          "embedded in the JSON report)\n";
+          "embedded in the JSON report)\n"
+          "  --cache-mb N   enable the compute-side cache tier with an "
+          "N MiB frame pool\n"
+          "  --cache-policy P  cache eviction policy: clock or fifo\n"
+          "  --no-cache     force the cache tier off\n";
     std::exit(exit_code);
 }
 
@@ -96,6 +101,23 @@ BenchCli::BenchCli(int argc, char **argv, std::string bench_name)
             }
         } else if (arg == "--flame") {
             flamePath_ = value(i, "--flame");
+        } else if (arg == "--cache-mb") {
+            cacheMb_ = static_cast<int>(
+                std::strtoul(value(i, "--cache-mb").c_str(), nullptr, 0));
+        } else if (arg == "--cache-policy") {
+            std::string p = value(i, "--cache-policy");
+            if (p == "clock") {
+                cachePolicy_ = CacheEvictPolicy::Clock;
+            } else if (p == "fifo") {
+                cachePolicy_ = CacheEvictPolicy::Fifo;
+            } else {
+                std::cerr << benchName_ << ": unknown cache policy '" << p
+                          << "' (expected clock or fifo)\n";
+                usage(benchName_, 2);
+            }
+            cachePolicySet_ = true;
+        } else if (arg == "--no-cache") {
+            noCache_ = true;
         } else if (arg == "--perf") {
             perf_ = true;
         } else if (arg == "--help" || arg == "-h") {

@@ -16,6 +16,10 @@
  *                  <out-dir>/<bench>_<label>_trace.json per captured run)
  *   --flame PATH   write collapsed-stack flamegraph lines to PATH
  *                  (implies --trace-spans)
+ *   --cache-mb N   enable the compute-side cache tier with an N MiB
+ *                  frame pool per runtime
+ *   --cache-policy P  cache eviction policy: clock (default) or fifo
+ *   --no-cache     force the cache tier off (overrides bench defaults)
  */
 
 #ifndef SMART_HARNESS_BENCH_CLI_HPP
@@ -30,6 +34,7 @@
 #include "harness/reporter.hpp"
 #include "harness/testbed.hpp"
 #include "sim/table.hpp"
+#include "smart/smart_config.hpp"
 
 namespace smart::harness {
 
@@ -74,6 +79,30 @@ class BenchCli
     }
 
     /**
+     * Apply the cache flags onto @p cfg. Bench defaults survive unless a
+     * flag was given: --no-cache wins over everything, --cache-mb sets
+     * the pool size, --cache-policy the eviction policy.
+     */
+    void
+    configureCache(SmartConfig &cfg) const
+    {
+        if (noCache_) {
+            cfg.withoutCache();
+            return;
+        }
+        if (cacheMb_ >= 0)
+            cfg.withCacheMb(static_cast<std::uint32_t>(cacheMb_));
+        if (cachePolicySet_)
+            cfg.withCachePolicy(cachePolicy_);
+    }
+
+    /** @return true when --no-cache was given. */
+    bool noCache() const { return noCache_; }
+
+    /** --cache-mb value, or -1 when the flag was absent. */
+    int cacheMb() const { return cacheMb_; }
+
+    /**
      * Reserve a capture slot for the next measured run, labelled
      * @p label. @return nullptr when no report was requested (or the
      * per-report capture cap was reached) — benches pass the result
@@ -102,6 +131,10 @@ class BenchCli
     bool perf_ = false;
     std::uint64_t seed_ = 0;
     std::uint32_t spanSampleEvery_ = 0;
+    bool noCache_ = false;
+    int cacheMb_ = -1;
+    bool cachePolicySet_ = false;
+    CacheEvictPolicy cachePolicy_ = CacheEvictPolicy::Clock;
     std::string outDir_ = ".";
     std::string jsonPath_;
     std::string flamePath_;

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "smart/cache/buffer_manager.hpp"
 #include "smart/smart_ctx.hpp"
 
 namespace smart::harness {
@@ -43,7 +44,13 @@ htWorker(SmartCtx &ctx, race::RaceClient &client, HtBenchParams params,
     workload::YcsbGenerator gen(params.numKeys, params.zipfTheta, params.mix,
                                 seed, zetan);
     std::uint64_t value_seq = seed;
+    bool shifted = false;
     for (;;) {
+        if (params.shiftAtNs != 0 && !shifted &&
+            ctx.sim().now() >= params.shiftAtNs) {
+            gen.rotate(params.shiftRotate);
+            shifted = true;
+        }
         workload::YcsbRequest req = gen.next();
         Time start = ctx.sim().now();
         race::OpResult res;
@@ -108,6 +115,9 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
     std::uint64_t ops0 = 0;
     std::uint64_t retries0 = 0;
     std::uint64_t wrs0 = 0;
+    std::uint64_t hits0 = 0;
+    std::uint64_t misses0 = 0;
+    std::uint64_t evict0 = 0;
     std::vector<std::uint64_t> hist0(64, 0);
     for (std::uint32_t c = 0; c < tb.numComputeBlades(); ++c) {
         SmartRuntime &rt = tb.compute(c);
@@ -117,6 +127,11 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
         for (int i = 0; i < 64; ++i)
             hist0[i] += rt.retryHist[i];
         rt.opLatency.reset();
+        if (cache::BufferManager *bm = rt.cache()) {
+            hits0 += bm->hitCount();
+            misses0 += bm->missCount();
+            evict0 += bm->evictionCount();
+        }
     }
 
     tb.sim().runUntil(params.warmupNs + params.measureNs);
@@ -134,10 +149,21 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
         for (int i = 0; i < 64; ++i)
             res.retryHist[i] += rt.retryHist[i] - hist0[i];
         lat.merge(rt.opLatency);
+        if (cache::BufferManager *bm = rt.cache()) {
+            res.cacheHits += bm->hitCount();
+            res.cacheMisses += bm->missCount();
+            res.cacheEvictions += bm->evictionCount();
+        }
     }
     ops -= ops0;
     retries -= retries0;
     wrs -= wrs0;
+    res.cacheHits -= hits0;
+    res.cacheMisses -= misses0;
+    res.cacheEvictions -= evict0;
+    if (res.cacheHits + res.cacheMisses > 0)
+        res.hitRatio = static_cast<double>(res.cacheHits) /
+                       static_cast<double>(res.cacheHits + res.cacheMisses);
 
     double us = static_cast<double>(params.measureNs) / 1000.0;
     res.mops = static_cast<double>(ops) / us;

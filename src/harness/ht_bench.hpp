@@ -31,6 +31,11 @@ struct HtBenchParams
     sim::Time interOpDelayNs = 0;
     /** Workload RNG seed (from BenchCli --seed); 0 = default stream. */
     std::uint64_t seed = 0;
+    /** When non-zero, rotate the Zipfian hot set at this virtual time
+     *  (cache adaptivity under a skew shift). */
+    sim::Time shiftAtNs = 0;
+    /** Popularity-rank rotation applied at shiftAtNs. */
+    std::uint64_t shiftRotate = 0;
 };
 
 /** Results of one hash-table benchmark run. */
@@ -43,6 +48,12 @@ struct HtBenchResult
     /** retryHist[n] = ops that needed n retries (63 = "63 or more"). */
     std::vector<std::uint64_t> retryHist = std::vector<std::uint64_t>(64, 0);
     double rdmaMops = 0;      ///< underlying one-sided verbs per us
+    // Cache-tier counters over the measure window (0 when disabled).
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEvictions = 0;
+    /** hits / (hits + misses) over the measure window; 0 when disabled. */
+    double hitRatio = 0;
 };
 
 /**

@@ -33,10 +33,12 @@ benchWorker(SmartCtx &ctx, RdmaBenchParams params)
             RemotePtr p = rt.ptr(0, off);
             switch (params.op) {
               case rnic::Op::Read:
-                ctx.read(p, buf + i * params.blockSize, params.blockSize);
+                ctx.read(p, MemSpan{buf + i * params.blockSize,
+                                    params.blockSize});
                 break;
               case rnic::Op::Write:
-                ctx.write(p, buf + i * params.blockSize, params.blockSize);
+                ctx.write(p, ConstMemSpan{buf + i * params.blockSize,
+                                          params.blockSize});
                 break;
               case rnic::Op::Cas:
                 ctx.cas(p, 0, 1, &cas_result);

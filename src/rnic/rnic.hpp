@@ -111,6 +111,13 @@ struct WorkReq
     /** Sync-round epoch; CQEs from abandoned rounds are ignored. */
     std::uint32_t syncEpoch = 0;
     /**
+     * Compute-side cache-tier routing cookie (0 for ordinary WRs).
+     * Encodes a fill / write-back / invalidation action plus a frame
+     * generation so stale or duplicate CQEs are rejected; routed to the
+     * owning BufferManager even for abandoned sync rounds.
+     */
+    std::uint64_t cacheCookie = 0;
+    /**
      * Parent span (the issuing coroutine's verb/retry span) when this
      * WR belongs to a sampled operation of an installed SpanTracer;
      * 0 (the common case) disables all device-side span recording.

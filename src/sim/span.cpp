@@ -34,6 +34,7 @@ stageName(Stage s)
       case Stage::BackoffSleep: return "backoff_sleep";
       case Stage::RetryRound: return "retry_round";
       case Stage::Cpu: return "cpu";
+      case Stage::Cache: return "cache";
       case Stage::Unattributed: return "unattributed";
     }
     return "?";

@@ -70,6 +70,7 @@ enum class Stage : std::uint8_t
     BackoffSleep, ///< s4.3 truncated-exponential conflict backoff
     RetryRound,   ///< one failure-retry round (re-stage + re-post + wait)
     Cpu,          ///< explicit application compute() time
+    Cache,        ///< compute-side cache tier service (hit copy-out)
     Unattributed, ///< synthetic: op self time not covered by any child
 };
 

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Descriptors of the unified SmartCtx access API: an AccessOp names one
+ * remote operation (read / write / cas / faa) together with its local
+ * operands, and CachePolicy says whether the compute-side cache tier may
+ * serve it. Kept in a leaf header so both SmartCtx and the cache's
+ * BufferManager can speak the same types without include cycles.
+ */
+
+#ifndef SMART_SMART_ACCESS_HPP
+#define SMART_SMART_ACCESS_HPP
+
+#include <cstdint>
+
+#include "smart/remote_ptr.hpp"
+#include "verbs/mem_span.hpp"
+
+namespace smart {
+
+class SmartCtx;
+
+/**
+ * Per-operation cache policy. Bypass goes straight to the wire (still
+ * keeping resident lines coherent); Cached may be served from the
+ * compute-side buffer pool when one is configured. With the cache
+ * disabled the two are identical.
+ */
+enum class CachePolicy : std::uint8_t
+{
+    Cached, ///< may hit / fill the compute-side cache tier
+    Bypass  ///< always a wire round-trip (locks, commit points, CAS loops)
+};
+
+/** Operation kind carried by an AccessOp. */
+enum class AccessMode : std::uint8_t { Read, Write, Cas, Faa };
+
+/**
+ * One remote access, built via the named constructors:
+ *
+ *   co_await ctx.access(p, AccessOp::read(MemSpan::of(v)));
+ *   co_await ctx.access(p, AccessOp::write(ConstMemSpan::of(v)),
+ *                       CachePolicy::Bypass);
+ *   co_await ctx.access(p, AccessOp::cas(expect, desired, old, ok));
+ *
+ * Output references (old value, success flag) must stay valid across the
+ * co_await, exactly like the verbs they replace.
+ */
+class AccessOp
+{
+  public:
+    /** READ @p dst.len bytes into @p dst. */
+    static AccessOp
+    read(MemSpan dst)
+    {
+        AccessOp o;
+        o.mode_ = AccessMode::Read;
+        o.buf_ = dst.data;
+        o.len_ = dst.len;
+        return o;
+    }
+
+    /** WRITE @p src (copied at staging time; reusable immediately). */
+    static AccessOp
+    write(ConstMemSpan src)
+    {
+        AccessOp o;
+        o.mode_ = AccessMode::Write;
+        o.cbuf_ = src.data;
+        o.len_ = src.len;
+        return o;
+    }
+
+    /** 8-byte compare-and-swap; old value and success land by reference. */
+    static AccessOp
+    cas(std::uint64_t expect, std::uint64_t desired, std::uint64_t &old_value,
+        bool &success)
+    {
+        AccessOp o;
+        o.mode_ = AccessMode::Cas;
+        o.a_ = expect;
+        o.b_ = desired;
+        o.out_ = &old_value;
+        o.ok_ = &success;
+        return o;
+    }
+
+    /** 8-byte fetch-and-add; the prior value lands in @p old_value. */
+    static AccessOp
+    faa(std::uint64_t add, std::uint64_t &old_value)
+    {
+        AccessOp o;
+        o.mode_ = AccessMode::Faa;
+        o.a_ = add;
+        o.out_ = &old_value;
+        return o;
+    }
+
+    AccessMode mode() const { return mode_; }
+
+  private:
+    friend class SmartCtx;
+
+    AccessOp() = default;
+
+    AccessMode mode_ = AccessMode::Read;
+    void *buf_ = nullptr;        ///< read destination
+    const void *cbuf_ = nullptr; ///< write source
+    std::uint32_t len_ = 0;
+    std::uint64_t a_ = 0; ///< cas expect / faa addend
+    std::uint64_t b_ = 0; ///< cas desired
+    std::uint64_t *out_ = nullptr;
+    bool *ok_ = nullptr;
+};
+
+/** One source->destination pair of a batched read (accessMany). */
+struct ReadPart
+{
+    RemotePtr src;
+    MemSpan dst;
+};
+
+} // namespace smart
+
+#endif // SMART_SMART_ACCESS_HPP

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * RemoteRef<T>: a typed, pinned view of one remote object under the
+ * compute-side cache tier. pin() parks until the object's cache line is
+ * resident and pins its frame (blocking eviction); get()/load() then read
+ * the bytes locally for free until unpin(). When the cache is disabled or
+ * the object is not cacheable, pin() transparently falls back to a plain
+ * RDMA read into inline storage — callers never branch on cache state.
+ *
+ *   RemoteRef<Node> ref(ctx, node_ptr);
+ *   co_await ref.pin();
+ *   if (!ctx.failed())
+ *       doSomething(ref.get());
+ *   // dtor unpins
+ */
+
+#ifndef SMART_SMART_REMOTE_REF_HPP
+#define SMART_SMART_REMOTE_REF_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "smart/cache/buffer_manager.hpp"
+#include "smart/smart_ctx.hpp"
+
+namespace smart {
+
+template <typename T> class RemoteRef
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "RemoteRef needs a trivially copyable object type");
+
+  public:
+    RemoteRef(SmartCtx &ctx, RemotePtr p) : ctx_(&ctx), p_(p) {}
+
+    RemoteRef(const RemoteRef &) = delete;
+    RemoteRef &operator=(const RemoteRef &) = delete;
+
+    ~RemoteRef() { unpin(); }
+
+    /**
+     * Make the object's bytes locally visible: cache hit, cache fill, or
+     * fallback read. On verb failure (ctx.failed()) the view stays null.
+     */
+    sim::Task
+    pin()
+    {
+        unpin();
+        co_await ctx_->cachePin(p_, MemSpan{local_, sizeof(T)}, view_,
+                                frame_);
+    }
+
+    /** @return whether pin() produced a readable view. */
+    bool valid() const { return view_ != nullptr; }
+
+    /** Borrow the pinned bytes in place (requires a suitably aligned
+     *  frame; use load() when T's alignment exceeds the line offset's). */
+    const T &
+    get() const
+    {
+        assert(valid());
+        assert(reinterpret_cast<std::uintptr_t>(view_) % alignof(T) == 0);
+        return *reinterpret_cast<const T *>(view_);
+    }
+
+    /** Copy the object out (no alignment requirement). */
+    T
+    load() const
+    {
+        assert(valid());
+        T v;
+        std::memcpy(&v, view_, sizeof(T));
+        return v;
+    }
+
+    /**
+     * Write @p v back to the remote object (write-through, Bypass). A
+     * pinned resident line is patched in place, so get() observes the
+     * new bytes as soon as the write is staged.
+     */
+    sim::Task
+    store(const T &v)
+    {
+        co_await ctx_->access(p_, AccessOp::write(ConstMemSpan::of(v)),
+                              CachePolicy::Bypass);
+        // In fallback mode the view is our inline copy; keep it current.
+        if (frame_ == cache::kNoFrame && view_ != nullptr)
+            std::memcpy(local_, &v, sizeof(T));
+    }
+
+    /** Release the pinned frame (idempotent; also run by the dtor). */
+    void
+    unpin()
+    {
+        if (frame_ != cache::kNoFrame) {
+            ctx_->cacheUnpin(frame_);
+            frame_ = cache::kNoFrame;
+        }
+        view_ = nullptr;
+    }
+
+    RemotePtr ptr() const { return p_; }
+
+  private:
+    SmartCtx *ctx_;
+    RemotePtr p_;
+    const std::uint8_t *view_ = nullptr;
+    std::uint32_t frame_ = cache::kNoFrame;
+    alignas(T) std::uint8_t local_[sizeof(T)];
+};
+
+} // namespace smart
+
+#endif // SMART_SMART_REMOTE_REF_HPP

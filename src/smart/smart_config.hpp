@@ -39,6 +39,55 @@ qpPolicyName(QpPolicy p)
     return "?";
 }
 
+/** Eviction policy of the compute-side cache tier. */
+enum class CacheEvictPolicy : std::uint8_t
+{
+    Clock, ///< second-chance CLOCK: referenced frames get one more pass
+    Fifo   ///< plain hand sweep, reference bits ignored
+};
+
+/** @return a short human-readable eviction policy name. */
+inline const char *
+cacheEvictPolicyName(CacheEvictPolicy p)
+{
+    switch (p) {
+      case CacheEvictPolicy::Clock: return "clock";
+      case CacheEvictPolicy::Fifo: return "fifo";
+    }
+    return "?";
+}
+
+/**
+ * Compute-side buffer-managed cache tier (ScaleStore-style). Disabled by
+ * default (sizeBytes == 0): every event stream stays byte-identical to a
+ * cache-less build unless a bench/test opts in.
+ */
+struct CacheConfig
+{
+    /** Frame pool capacity in bytes; 0 disables the cache entirely. */
+    std::uint64_t sizeBytes = 0;
+    /** Cache line (frame) size; remote offsets are line-aligned. */
+    std::uint32_t lineBytes = 256;
+    /** Eviction policy. */
+    CacheEvictPolicy evict = CacheEvictPolicy::Clock;
+    /** Largest access, in lines, served through the cache (larger ops
+     *  bypass to the wire — streaming transfers shouldn't thrash it). */
+    std::uint32_t maxSpanLines = 8;
+    /** Adjacent lines prefetched after a miss (0 disables prefetch). */
+    std::uint32_t prefetchLines = 0;
+    /** Modeled CPU cost per line serviced by the cache (lookup+copy). */
+    sim::Time hitNs = 60;
+
+    bool enabled() const { return sizeBytes != 0; }
+
+    /** @return frame count this configuration yields. */
+    std::uint32_t
+    numFrames() const
+    {
+        return static_cast<std::uint32_t>(sizeBytes / lineBytes);
+    }
+};
+
 /** Configuration of one SmartRuntime (one compute blade process). */
 struct SmartConfig
 {
@@ -93,6 +142,9 @@ struct SmartConfig
      * events. 0 disables timeouts even under faults.
      */
     sim::Time verbTimeoutNs = sim::msec(1);
+
+    // ---- Compute-side cache tier (off unless sizeBytes > 0) ----
+    CacheConfig cache;
 
     // ---- Fluent builder: chainable tweaks over a preset ----
 
@@ -152,6 +204,46 @@ struct SmartConfig
     {
         maxVerbRetries = max_retries;
         verbTimeoutNs = timeout_ns;
+        return *this;
+    }
+
+    /** Install a full cache configuration. */
+    SmartConfig &
+    withCache(const CacheConfig &c)
+    {
+        cache = c;
+        return *this;
+    }
+
+    /** Enable the cache tier with a pool of @p mb megabytes. */
+    SmartConfig &
+    withCacheMb(std::uint32_t mb)
+    {
+        cache.sizeBytes = static_cast<std::uint64_t>(mb) << 20;
+        return *this;
+    }
+
+    /** Set the cache eviction policy. */
+    SmartConfig &
+    withCachePolicy(CacheEvictPolicy p)
+    {
+        cache.evict = p;
+        return *this;
+    }
+
+    /** Set adjacent-line prefetch depth. */
+    SmartConfig &
+    withCachePrefetch(std::uint32_t lines)
+    {
+        cache.prefetchLines = lines;
+        return *this;
+    }
+
+    /** Disable the cache tier (the default). */
+    SmartConfig &
+    withoutCache()
+    {
+        cache.sizeBytes = 0;
         return *this;
     }
 

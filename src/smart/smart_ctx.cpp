@@ -9,6 +9,8 @@
 #include <cstring>
 #include <string>
 
+#include "smart/cache/buffer_manager.hpp"
+
 namespace smart {
 
 using sim::Task;
@@ -39,7 +41,7 @@ SmartCtx::SmartCtx(SmartRuntime &rt, std::uint32_t tid,
 }
 
 std::uint32_t
-SmartCtx::bladeIndexOf(const RemotePtr &p) const
+SmartCtx::bladeIndex(const RemotePtr &p) const
 {
     for (std::uint32_t i = 0; i < rt_.bladeRnics_.size(); ++i) {
         if (rt_.bladeRnics_[i] == p.blade)
@@ -63,10 +65,17 @@ SmartCtx::scratch(std::uint32_t bytes)
 void
 SmartCtx::stage(const RemotePtr &p, rnic::WorkReq wr)
 {
-    std::uint32_t idx = bladeIndexOf(p);
+    stageKeyed(p, wr, scratchTransKey_);
+}
+
+void
+SmartCtx::stageKeyed(const RemotePtr &p, rnic::WorkReq wr,
+                     std::uint64_t trans_key)
+{
+    std::uint32_t idx = bladeIndex(p);
     wr.rkey = p.rkey;
     wr.remoteOffset = p.offset;
-    wr.localTransKey = scratchTransKey_;
+    wr.localTransKey = trans_key;
     wr.wrId = reinterpret_cast<std::uint64_t>(&syncState_);
     if (opSpan_ != 0) {
         // Sampled op: open the verb span lazily (first staged WR) and tag
@@ -96,26 +105,30 @@ SmartCtx::stage(const RemotePtr &p, rnic::WorkReq wr)
 }
 
 void
-SmartCtx::read(RemotePtr src, void *local_buf, std::uint32_t len)
+SmartCtx::read(RemotePtr src, MemSpan dst)
 {
     rnic::WorkReq wr;
     wr.op = rnic::Op::Read;
-    wr.length = len;
-    wr.localBuf = static_cast<std::uint8_t *>(local_buf);
+    wr.length = dst.len;
+    wr.localBuf = dst.bytes();
     stage(src, wr);
 }
 
 void
-SmartCtx::write(RemotePtr dst, const void *local_buf, std::uint32_t len)
+SmartCtx::write(RemotePtr dst, ConstMemSpan src)
 {
+    // Keep resident cache lines at least as fresh as the wire: patch
+    // them (or schedule a patch on lines mid-fill) before staging.
+    if (cache::BufferManager *bm = rt_.cache())
+        bm->noteBypassWrite(bladeIndex(dst), dst.offset, src);
     rnic::WorkReq wr;
     wr.op = rnic::Op::Write;
-    wr.length = len;
+    wr.length = src.len;
     // Copy-on-stage: RDMA requires source buffers to stay stable until
     // completion; staging into coroutine scratch frees the caller from
     // that obligation.
-    std::uint8_t *copy = scratch(len);
-    std::memcpy(copy, local_buf, len);
+    std::uint8_t *copy = scratch(src.len);
+    std::memcpy(copy, src.data, src.len);
     wr.localBuf = copy;
     stage(dst, wr);
 }
@@ -131,6 +144,8 @@ SmartCtx::cas(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
     wr.swap = desired;
     wr.localBuf = result ? reinterpret_cast<std::uint8_t *>(result)
                          : scratch(8);
+    if (cache::BufferManager *bm = rt_.cache())
+        wr.cacheCookie = bm->atomicCookie(bladeIndex(dst), dst.offset);
     stage(dst, wr);
 }
 
@@ -143,7 +158,35 @@ SmartCtx::faa(RemotePtr dst, std::uint64_t add, std::uint64_t *result)
     wr.compare = add;
     wr.localBuf = result ? reinterpret_cast<std::uint8_t *>(result)
                          : scratch(8);
+    if (cache::BufferManager *bm = rt_.cache())
+        wr.cacheCookie = bm->atomicCookie(bladeIndex(dst), dst.offset);
     stage(dst, wr);
+}
+
+void
+SmartCtx::stageCacheFill(const RemotePtr &line_src, MemSpan frame,
+                         std::uint64_t cookie)
+{
+    rnic::WorkReq wr;
+    wr.op = rnic::Op::Read;
+    wr.length = frame.len;
+    wr.localBuf = frame.bytes();
+    wr.cacheCookie = cookie;
+    stageKeyed(line_src, wr, rt_.cacheTransKey(thr_.id(), frame.bytes()));
+}
+
+void
+SmartCtx::stageCacheWrite(const RemotePtr &line_dst, ConstMemSpan frame,
+                          std::uint64_t cookie)
+{
+    rnic::WorkReq wr;
+    wr.op = rnic::Op::Write;
+    wr.length = frame.len;
+    // No copy-on-stage: the BufferManager keeps the frame bytes stable
+    // (dirty frames are not evicted) until the write-back CQE lands.
+    wr.localBuf = const_cast<std::uint8_t *>(frame.bytes());
+    wr.cacheCookie = cookie;
+    stageKeyed(line_dst, wr, rt_.cacheTransKey(thr_.id(), frame.bytes()));
 }
 
 Task
@@ -356,25 +399,18 @@ SmartCtx::sync()
 }
 
 Task
-SmartCtx::readSync(RemotePtr src, void *local_buf, std::uint32_t len)
+SmartCtx::casAccess(RemotePtr dst, std::uint64_t expect,
+                    std::uint64_t desired, std::uint64_t &old_value,
+                    bool &success)
 {
-    read(src, local_buf, len);
-    co_await postSend();
-    co_await sync();
-}
-
-Task
-SmartCtx::writeSync(RemotePtr dst, const void *local_buf, std::uint32_t len)
-{
-    write(dst, local_buf, len);
-    co_await postSend();
-    co_await sync();
-}
-
-Task
-SmartCtx::casSync(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
-                  std::uint64_t &old_value, bool &success)
-{
+    // Write-back ordering: an atomic must not overtake buffered cached
+    // writes on its line (FORD commit points CAS a version the execute
+    // phase may have cached around).
+    if (cache::BufferManager *bm = rt_.cache()) {
+        std::uint32_t blade = bladeIndex(dst);
+        if (bm->lineDirty(blade, dst.offset))
+            co_await bm->flushLine(*this, blade, dst.offset);
+    }
     thr_.casAttempts.add();
     // The old value lands in a SmartCtx member, not a frame local: a WR
     // orphaned by the verb timeout may complete after this frame died,
@@ -390,11 +426,167 @@ SmartCtx::casSync(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
 }
 
 Task
+SmartCtx::access(RemotePtr p, AccessOp op, CachePolicy pol)
+{
+    cache::BufferManager *bm = rt_.cache();
+    switch (op.mode_) {
+    case AccessMode::Read: {
+        MemSpan dst{op.buf_, op.len_};
+        if (bm != nullptr && pol == CachePolicy::Cached &&
+            bm->cacheable(p.offset, dst.len)) {
+            ReadPart part{p, dst};
+            co_await bm->readParts(*this, &part, 1);
+            co_return;
+        }
+        read(p, dst);
+        co_await postSend();
+        co_await sync();
+        co_return;
+    }
+    case AccessMode::Write: {
+        ConstMemSpan src{op.cbuf_, op.len_};
+        if (bm != nullptr && pol == CachePolicy::Cached &&
+            bm->tryCachedWrite(bladeIndex(p), p, src)) {
+            // Absorbed by a resident line (write-back; flushed on
+            // eviction, cacheFlush() or a covering atomic).
+            co_await cacheCharge(bm->config().hitNs);
+            co_return;
+        }
+        // Miss or Bypass: write through (no write-allocate).
+        write(p, src);
+        co_await postSend();
+        co_await sync();
+        co_return;
+    }
+    case AccessMode::Cas:
+        co_await casAccess(p, op.a_, op.b_, *op.out_, *op.ok_);
+        co_return;
+    case AccessMode::Faa: {
+        if (bm != nullptr) {
+            std::uint32_t blade = bladeIndex(p);
+            if (bm->lineDirty(blade, p.offset))
+                co_await bm->flushLine(*this, blade, p.offset);
+        }
+        casLanding_ = 0;
+        faa(p, op.a_, &casLanding_);
+        co_await postSend();
+        co_await sync();
+        *op.out_ = casLanding_;
+        co_return;
+    }
+    }
+}
+
+Task
+SmartCtx::accessMany(const ReadPart *parts, std::uint32_t nparts, CachePolicy pol)
+{
+    cache::BufferManager *bm = rt_.cache();
+    bool cached = bm != nullptr && pol == CachePolicy::Cached &&
+                  nparts <= cache::kMaxParts;
+    if (cached) {
+        std::uint32_t lines = 0;
+        for (std::uint32_t i = 0; i < nparts; ++i) {
+            if (!bm->cacheable(parts[i].src.offset, parts[i].dst.len)) {
+                cached = false;
+                break;
+            }
+            lines += (parts[i].src.offset + parts[i].dst.len - 1) /
+                         bm->config().lineBytes -
+                     parts[i].src.offset / bm->config().lineBytes + 1;
+        }
+        if (lines > cache::kMaxBatchLines)
+            cached = false;
+        if (cached) {
+            co_await bm->readParts(*this, parts, nparts);
+            co_return;
+        }
+    }
+    // Classic path: stage everything, one doorbell batch, one sync.
+    for (std::uint32_t i = 0; i < nparts; ++i)
+        read(parts[i].src, parts[i].dst);
+    co_await postSend();
+    co_await sync();
+}
+
+Task
+SmartCtx::cacheFlush()
+{
+    if (cache::BufferManager *bm = rt_.cache())
+        co_await bm->flushAll(*this);
+}
+
+Task
+SmartCtx::cachePin(RemotePtr p, MemSpan fallback,
+                   const std::uint8_t *&view, std::uint32_t &frame)
+{
+    view = nullptr;
+    frame = cache::kNoFrame;
+    cache::BufferManager *bm = rt_.cache();
+    if (bm != nullptr && bm->cacheable(p.offset, fallback.len)) {
+        co_await bm->pinLine(*this, p, fallback.len, view, frame);
+        if (frame != cache::kNoFrame)
+            co_return;
+        if (failed())
+            co_return;
+    }
+    // Fallback: plain read into caller-provided storage.
+    read(p, fallback);
+    co_await postSend();
+    co_await sync();
+    if (!failed())
+        view = fallback.bytes();
+}
+
+void
+SmartCtx::cacheUnpin(std::uint32_t frame)
+{
+    if (frame == cache::kNoFrame)
+        return;
+    if (cache::BufferManager *bm = rt_.cache())
+        bm->unpin(frame);
+}
+
+Task
+SmartCtx::cacheCharge(Time d)
+{
+    if (d == 0)
+        co_return;
+    Time t0 = sim().now();
+    co_await thr_.simThread().compute(d);
+    if (opSpan_ != 0)
+        rt_.sim().spans()->record(track_, sim::Stage::Cache, currentSpan(),
+                                  t0, sim().now());
+}
+
+Task
+SmartCtx::readSync(RemotePtr src, void *local_buf, std::uint32_t len)
+{
+    read(src, MemSpan{local_buf, len});
+    co_await postSend();
+    co_await sync();
+}
+
+Task
+SmartCtx::writeSync(RemotePtr dst, const void *local_buf, std::uint32_t len)
+{
+    write(dst, ConstMemSpan{local_buf, len});
+    co_await postSend();
+    co_await sync();
+}
+
+Task
+SmartCtx::casSync(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
+                  std::uint64_t &old_value, bool &success)
+{
+    co_await casAccess(dst, expect, desired, old_value, success);
+}
+
+Task
 SmartCtx::backoffCasSync(RemotePtr dst, std::uint64_t expect,
                          std::uint64_t desired, std::uint64_t &old_value,
                          bool &success)
 {
-    co_await casSync(dst, expect, desired, old_value, success);
+    co_await casAccess(dst, expect, desired, old_value, success);
     if (success) {
         casFailStreak_ = 0;
         co_return;

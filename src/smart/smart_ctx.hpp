@@ -2,10 +2,23 @@
  * @file
  * SmartCtx: the per-coroutine programming interface of SMART (§5.1).
  *
- * The API mirrors one-sided RDMA verbs: read/write/cas/faa stage work
- * requests into a local buffer, postSend() submits them (with Algorithm-1
- * credit throttling), sync() suspends the coroutine until all its posted
- * WRs complete, and backoffCasSync() adds §4.3 conflict avoidance.
+ * Two layers:
+ *  - The verb-like staging API mirrors one-sided RDMA: read/write/cas/faa
+ *    stage work requests into a local buffer, postSend() submits them
+ *    (with Algorithm-1 credit throttling), sync() suspends the coroutine
+ *    until all its posted WRs complete, and backoffCasSync() adds §4.3
+ *    conflict avoidance. Use it when an operation wants to batch several
+ *    WRs under one doorbell ring.
+ *  - The unified awaitable access API (access()/accessMany(), plus typed
+ *    RemoteRef<T> pin handles in remote_ref.hpp) is the preferred
+ *    single-op surface: one co_await per remote access, with an explicit
+ *    per-op CachePolicy deciding whether the compute-side cache tier
+ *    (smart/cache/) may serve it. With the cache disabled the Cached and
+ *    Bypass paths are identical staged-verb sequences, so event streams
+ *    stay byte-identical to cache-less builds.
+ *
+ * The readSync/writeSync/casSync combinations are deprecated shims over
+ * access() kept for one PR; new code should use access() directly.
  */
 
 #ifndef SMART_SMART_CTX_HPP
@@ -15,10 +28,16 @@
 #include <vector>
 
 #include "sim/task.hpp"
+#include "smart/access.hpp"
 #include "smart/remote_ptr.hpp"
 #include "smart/smart_runtime.hpp"
+#include "verbs/mem_span.hpp"
 
 namespace smart {
+
+namespace cache {
+class BufferManager;
+}
 
 /**
  * Typed verb failure surfaced to applications after SmartCtx's retry
@@ -68,26 +87,69 @@ class SmartCtx
     sim::Simulator &sim() { return rt_.sim(); }
     std::uint32_t coroIndex() const { return coroIdx_; }
 
-    // ---- verb-like staging API ----
-
-    /** Stage a READ of @p len bytes from @p src into @p local_buf. */
-    void read(RemotePtr src, void *local_buf, std::uint32_t len);
+    // ---- unified awaitable access API ----
 
     /**
-     * Stage a WRITE of @p len bytes to @p dst. The payload is copied into
-     * coroutine scratch at staging time, so the caller may reuse
-     * @p local_buf immediately.
+     * Perform one remote access and wait for it. Reads/writes with
+     * CachePolicy::Cached may be served by the compute-side cache tier
+     * (when the runtime has one); CAS/FAA always go to the wire and
+     * invalidate the covering cache line at completion. A CAS that finds
+     * dirty cached data on its line forces a write-back round first, so
+     * commit points never overtake buffered writes.
      */
-    void write(RemotePtr dst, const void *local_buf, std::uint32_t len);
+    sim::Task access(RemotePtr p, AccessOp op,
+                     CachePolicy pol = CachePolicy::Cached);
+
+    /**
+     * Batched reads: all parts are staged/served together (one doorbell
+     * batch + one sync round for every wire op in the batch). With the
+     * cache disabled or CachePolicy::Bypass this lowers to exactly the
+     * classic stage-all + postSend + sync sequence.
+     */
+    sim::Task accessMany(const ReadPart *parts, std::uint32_t nparts,
+                         CachePolicy pol = CachePolicy::Cached);
+
+    /**
+     * Drain every dirty cache frame to its blade (commit/shutdown
+     * barrier). No-op without a cache tier.
+     */
+    sim::Task cacheFlush();
+
+    /**
+     * Pin the cache line covering @p p and expose a read-only view of
+     * its bytes (used by RemoteRef<T>). When the line cannot be pinned
+     * (cache disabled, span crosses lines, pool exhausted), the bytes
+     * are read into @p fallback instead and @p frame is cache::kNoFrame.
+     * On verb failure view stays nullptr.
+     */
+    sim::Task cachePin(RemotePtr p, MemSpan fallback,
+                       const std::uint8_t *&view, std::uint32_t &frame);
+
+    /** Release one cachePin() pin (no-op for cache::kNoFrame). */
+    void cacheUnpin(std::uint32_t frame);
+
+    // ---- verb-like staging API ----
+
+    /** Stage a READ from @p src into @p dst. */
+    void read(RemotePtr src, MemSpan dst);
+
+    /**
+     * Stage a WRITE of @p src to @p dst. The payload is copied into
+     * coroutine scratch at staging time, so the caller may reuse its
+     * buffer immediately. Resident cache lines are patched so cached
+     * readers never observe older bytes than the wire.
+     */
+    void write(RemotePtr dst, ConstMemSpan src);
 
     /**
      * Stage an 8-byte compare-and-swap on @p dst. The old value lands in
-     * @p result (must stay valid until sync()).
+     * @p result (must stay valid until sync()). The covering cache line
+     * is invalidated when the completion arrives.
      */
     void cas(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
              std::uint64_t *result);
 
-    /** Stage an 8-byte fetch-and-add on @p dst. */
+    /** Stage an 8-byte fetch-and-add on @p dst (invalidates like cas). */
     void faa(RemotePtr dst, std::uint64_t add, std::uint64_t *result);
 
     /** Post all staged WRs (SMARTPOSTSEND: waits for credits if needed). */
@@ -97,7 +159,13 @@ class SmartCtx
     sim::Task sync();
 
     // ---- convenience combinations ----
+
+    [[deprecated("use ctx.access(p, AccessOp::read(MemSpan{buf, len}), "
+                 "CachePolicy::Bypass)")]]
     sim::Task readSync(RemotePtr src, void *local_buf, std::uint32_t len);
+
+    [[deprecated("use ctx.access(p, AccessOp::write(ConstMemSpan{buf, "
+                 "len}), CachePolicy::Bypass)")]]
     sim::Task writeSync(RemotePtr dst, const void *local_buf,
                         std::uint32_t len);
 
@@ -113,7 +181,8 @@ class SmartCtx
                              std::uint64_t desired, std::uint64_t &old_value,
                              bool &success);
 
-    /** Plain CAS + sync without conflict avoidance (baseline path). */
+    [[deprecated("use ctx.access(p, AccessOp::cas(expect, desired, old, "
+                 "ok))")]]
     sim::Task casSync(RemotePtr dst, std::uint64_t expect,
                       std::uint64_t desired, std::uint64_t &old_value,
                       bool &success);
@@ -134,6 +203,9 @@ class SmartCtx
 
     /** Consecutive failed-CAS streak (drives the backoff exponent). */
     std::uint32_t casFailStreak() const { return casFailStreak_; }
+
+    /** @return connected-blade index addressed by @p p. */
+    std::uint32_t bladeIndex(const RemotePtr &p) const;
 
     // ---- failure surface ----
 
@@ -162,6 +234,7 @@ class SmartCtx
 
   private:
     friend class SmartRuntime;
+    friend class cache::BufferManager;
 
     /** One tracked WR: enough to re-stage it on failure. */
     struct TrackedWr
@@ -170,8 +243,29 @@ class SmartCtx
         rnic::WorkReq wr;
     };
 
-    std::uint32_t bladeIndexOf(const RemotePtr &p) const;
     void stage(const RemotePtr &p, rnic::WorkReq wr);
+
+    /** stage() with an explicit local MTT key (cache frames live in a
+     *  different MR than coroutine scratch). */
+    void stageKeyed(const RemotePtr &p, rnic::WorkReq wr,
+                    std::uint64_t trans_key);
+
+    /** Stage a cache fill READ landing directly in @p frame. */
+    void stageCacheFill(const RemotePtr &line_src, MemSpan frame,
+                        std::uint64_t cookie);
+
+    /** Stage a cache write-back WRITE sourced directly from @p frame
+     *  (no copy-on-stage: the frame stays stable until the CQE). */
+    void stageCacheWrite(const RemotePtr &line_dst, ConstMemSpan frame,
+                         std::uint64_t cookie);
+
+    /** Charge cache service CPU time under a Stage::Cache leaf span. */
+    sim::Task cacheCharge(sim::Time d);
+
+    /** Shared CAS implementation (access(), backoffCasSync, shims). */
+    sim::Task casAccess(RemotePtr dst, std::uint64_t expect,
+                        std::uint64_t desired, std::uint64_t &old_value,
+                        bool &success);
 
     /** Park until the current round completes (or times out). */
     sim::Task awaitRound();
@@ -207,7 +301,8 @@ class SmartCtx
     std::uint32_t scratchPos_ = 0;
 
     std::uint32_t casFailStreak_ = 0;
-    /** Landing slot for casSync (must outlive abandoned rounds). */
+    /** Landing slot for CAS/FAA accesses (must outlive abandoned
+     *  rounds, so it cannot live in a coroutine frame). */
     std::uint64_t casLanding_ = 0;
 
     // ---- span recording (all zero unless a SpanTracer is installed

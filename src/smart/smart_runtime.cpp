@@ -7,6 +7,7 @@
 
 #include <cassert>
 
+#include "smart/cache/buffer_manager.hpp"
 #include "smart/smart_ctx.hpp"
 
 namespace smart {
@@ -261,6 +262,21 @@ SmartRuntime::SmartRuntime(sim::Simulator &sim,
         }
     }
 
+    // Compute-side cache tier: the frame pool is ordinary local memory
+    // that RDMA reads land in directly, so it needs an MR per device
+    // context (one shared, or one per thread under PerThreadContext).
+    if (cfg_.cache.enabled()) {
+        cache_ = std::make_unique<cache::BufferManager>(*this, cfg_.cache);
+        MemSpan pool = cache_->pool();
+        if (sharedContext_)
+            sharedCacheMrId_ = sharedContext_->regMr(pool).id;
+        for (auto &thr : threads_) {
+            thr->cacheMrId_ = cfg_.qpPolicy == QpPolicy::PerThreadContext
+                                  ? thr->ownContext_->regMr(pool).id
+                                  : sharedCacheMrId_;
+        }
+    }
+
     sim::Labels labels{{"blade", name_},
                        {"policy", qpPolicyName(cfg_.qpPolicy)}};
     sim::MetricsRegistry &m = sim_.metrics();
@@ -290,6 +306,14 @@ SmartRuntime::dispatchCqe(const verbs::Wc &wc, const rnic::WorkReq &wr)
         thr->completedWrs.add();
     if (thr->runtime().config().workReqThrottle)
         thr->replenish(1);
+    if (wr.cacheCookie != 0) {
+        // Cache fills / write-backs / atomic invalidations route to the
+        // BufferManager even when the verb timeout already abandoned the
+        // round (the frame-generation check inside onCqe self-guards), so
+        // a straggler landing into a quarantined frame is still observed.
+        if (cache::BufferManager *bm = thr->runtime().cache())
+            bm->onCqe(wr, wc.status);
+    }
     if (wr.syncEpoch != state->epoch) {
         // CQE from a round the verb timeout already abandoned: the
         // credit above is returned, but the round's bookkeeping is gone.
@@ -416,6 +440,17 @@ SmartRuntime::scratchFor(std::uint32_t tid, std::uint32_t coro_idx,
         cfg_.scratchBytesPerCoro;
     trans_key = rnic::Rnic::transKey(threads_[tid]->localMrId_, off);
     return localBuf_.data() + off;
+}
+
+std::uint64_t
+SmartRuntime::cacheTransKey(std::uint32_t tid, const std::uint8_t *p) const
+{
+    assert(cache_ != nullptr);
+    MemSpan pool = cache_->pool();
+    std::uint64_t off =
+        static_cast<std::uint64_t>(p - static_cast<std::uint8_t *>(pool.data));
+    assert(off < pool.len);
+    return rnic::Rnic::transKey(threads_[tid]->cacheMrId_, off);
 }
 
 void

@@ -35,6 +35,10 @@ namespace smart {
 class SmartRuntime;
 class SmartCtx;
 
+namespace cache {
+class BufferManager;
+}
+
 /**
  * Bookkeeping for one in-flight sync group: every posted WR carries a
  * pointer to its coroutine's SyncState in wr_id (the paper packs metadata
@@ -278,6 +282,7 @@ class SmartThread
     std::unique_ptr<verbs::Cq> cq_;
     std::vector<std::unique_ptr<verbs::Qp>> qps_; // index = blade id
     std::uint32_t localMrId_ = 0; // MR covering the runtime scratch buffer
+    std::uint32_t cacheMrId_ = 0; // MR covering the cache frame pool
 };
 
 /** One compute blade running SMART (or a baseline configuration). */
@@ -316,6 +321,40 @@ class SmartRuntime
 
     /** @return number of connected memory blades. */
     std::uint32_t numBlades() const { return blades_.size(); }
+
+    /** @return capacity in bytes of connected blade @p blade_idx. */
+    std::uint64_t
+    bladeSize(std::uint32_t blade_idx) const
+    {
+        return blades_[blade_idx]->size();
+    }
+
+    /**
+     * @return restart incarnation of connected blade @p blade_idx. A
+     * crash-restart bumps it; the cache flushes all lines of the blade
+     * when it observes a change (the MRs backing them were invalidated).
+     */
+    std::uint64_t
+    bladeIncarnation(std::uint32_t blade_idx) const
+    {
+        return blades_[blade_idx]->incarnation();
+    }
+
+    /**
+     * @return the compute-side cache tier, or nullptr when the cache is
+     * disabled (SmartConfig::cache.sizeBytes == 0). With no BufferManager
+     * object at all, the disabled configuration is byte-identical to the
+     * pre-cache code paths.
+     */
+    cache::BufferManager *cache() { return cache_.get(); }
+
+    /**
+     * Translation key addressing @p p inside the cache frame pool for
+     * WRs posted by thread @p tid (per-thread device contexts register
+     * the pool separately, so the MR id is thread-dependent).
+     */
+    std::uint64_t cacheTransKey(std::uint32_t tid,
+                                const std::uint8_t *p) const;
 
     /** Kick off the adaptive controller coroutines (idempotent). */
     void start();
@@ -400,6 +439,10 @@ class SmartRuntime
     // Registered local scratch memory.
     std::vector<std::uint8_t> localBuf_;
     std::uint32_t sharedLocalMrId_ = 0;
+
+    // Compute-side cache tier (null when cfg_.cache is disabled).
+    std::unique_ptr<cache::BufferManager> cache_;
+    std::uint32_t sharedCacheMrId_ = 0;
 
     std::vector<std::unique_ptr<SmartCtx>> workers_;
     bool started_ = false;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MemSpan / ConstMemSpan: typed (pointer, length) value types used by the
+ * verbs and SMART layers instead of raw `(void *, std::uint32_t)` pairs.
+ * Deriving the length from the pointed-to type stops the silent
+ * length/alignment mismatches that raw pairs invite.
+ */
+
+#ifndef SMART_VERBS_MEM_SPAN_HPP
+#define SMART_VERBS_MEM_SPAN_HPP
+
+#include <cstdint>
+#include <type_traits>
+
+namespace smart {
+
+/** A mutable local byte range (READ landing zones, pinned views). */
+struct MemSpan
+{
+    void *data = nullptr;
+    std::uint32_t len = 0;
+
+    constexpr MemSpan() = default;
+    constexpr MemSpan(void *d, std::uint32_t l) : data(d), len(l) {}
+
+    /** Span over one trivially-copyable object (length from the type). */
+    template <typename T>
+    static MemSpan
+    of(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "MemSpan::of needs a trivially copyable object");
+        static_assert(!std::is_pointer_v<T>,
+                      "MemSpan::of(ptr) spans the pointer itself; pass "
+                      "the pointee or use MemSpan{ptr, len}");
+        return MemSpan{&v, sizeof(T)};
+    }
+
+    /** Span over @p n elements starting at @p base. */
+    template <typename T>
+    static MemSpan
+    ofArray(T *base, std::uint64_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        return MemSpan{base, static_cast<std::uint32_t>(n * sizeof(T))};
+    }
+
+    std::uint8_t *bytes() const { return static_cast<std::uint8_t *>(data); }
+    bool empty() const { return len == 0; }
+};
+
+/** A read-only local byte range (WRITE payload sources). */
+struct ConstMemSpan
+{
+    const void *data = nullptr;
+    std::uint32_t len = 0;
+
+    constexpr ConstMemSpan() = default;
+    constexpr ConstMemSpan(const void *d, std::uint32_t l) : data(d), len(l)
+    {
+    }
+    constexpr ConstMemSpan(const MemSpan &s) : data(s.data), len(s.len) {}
+
+    /** Span over one trivially-copyable object (length from the type). */
+    template <typename T>
+    static ConstMemSpan
+    of(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "ConstMemSpan::of needs a trivially copyable object");
+        static_assert(!std::is_pointer_v<T>,
+                      "ConstMemSpan::of(ptr) spans the pointer itself; "
+                      "pass the pointee or use ConstMemSpan{ptr, len}");
+        return ConstMemSpan{&v, sizeof(T)};
+    }
+
+    /** Span over @p n elements starting at @p base. */
+    template <typename T>
+    static ConstMemSpan
+    ofArray(const T *base, std::uint64_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        return ConstMemSpan{base, static_cast<std::uint32_t>(n * sizeof(T))};
+    }
+
+    const std::uint8_t *
+    bytes() const
+    {
+        return static_cast<const std::uint8_t *>(data);
+    }
+    bool empty() const { return len == 0; }
+};
+
+} // namespace smart
+
+#endif // SMART_VERBS_MEM_SPAN_HPP

@@ -18,6 +18,7 @@
 
 #include "rnic/rnic.hpp"
 #include "sim/resource.hpp"
+#include "verbs/mem_span.hpp"
 #include "sim/sim_thread.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -311,6 +312,13 @@ class Context
      * redundancy the paper warns about.
      */
     const rnic::MrRecord &regMr(std::uint8_t *base, std::uint64_t length);
+
+    /** Register local memory described by a span (≤ 4 GiB). */
+    const rnic::MrRecord &
+    regMr(MemSpan span)
+    {
+        return regMr(span.bytes(), span.len);
+    }
 
     /**
      * Predict the doorbell the *next* created QP will bind to. The mlx5

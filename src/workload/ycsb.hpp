@@ -88,12 +88,24 @@ class YcsbGenerator
     {
     }
 
+    /**
+     * Shift the popularity distribution: rank r now maps to the key that
+     * rank (r + delta) mod numKeys mapped to before. Benches use this to
+     * move the Zipfian hot set mid-run (cache adaptivity under skew
+     * shift) without touching the RNG streams.
+     */
+    void
+    rotate(std::uint64_t delta)
+    {
+        rotate_ = (rotate_ + delta) % numKeys_;
+    }
+
     /** @return the next request. */
     YcsbRequest
     next()
     {
         YcsbRequest req;
-        std::uint64_t rank = zipf_.next();
+        std::uint64_t rank = (zipf_.next() + rotate_) % numKeys_;
         req.key = smart::sim::scatterKey(rank, numKeys_);
         double p = rng_.uniformDouble();
         if (p < mix_.lookup)
@@ -110,6 +122,7 @@ class YcsbGenerator
     smart::sim::Rng rng_;
     YcsbMix mix_;
     std::uint64_t numKeys_;
+    std::uint64_t rotate_ = 0;
 };
 
 } // namespace smart::workload

@@ -42,7 +42,8 @@ readLoop(SmartCtx &ctx, LoopStats &st)
 {
     std::uint8_t *buf = ctx.scratch(64);
     for (;;) {
-        co_await ctx.readSync(ctx.runtime().ptr(0, 0), buf, 64);
+        co_await ctx.access(ctx.runtime().ptr(0, 0),
+                            AccessOp::read(MemSpan{buf, 64}));
         if (ctx.failed()) {
             ++st.errors;
             ctx.clearError();
@@ -84,7 +85,8 @@ TEST(FaultInjection, ExhaustedRetriesSurfaceTypedError)
     bool done = false;
     tb.compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
         std::uint8_t *buf = ctx.scratch(64);
-        co_await ctx.readSync(ctx.runtime().ptr(0, 0), buf, 64);
+        co_await ctx.access(ctx.runtime().ptr(0, 0),
+                            AccessOp::read(MemSpan{buf, 64}));
         seen = ctx.lastError();
         done = true;
     });

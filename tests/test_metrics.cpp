@@ -203,7 +203,7 @@ readWorker(SmartCtx &ctx)
     std::uint8_t buf[256];
     for (;;) {
         for (int i = 0; i < 16; ++i)
-            ctx.read(ctx.runtime().ptr(0, 64 * i), buf + i * 8, 8);
+            ctx.read(ctx.runtime().ptr(0, 64 * i), MemSpan{buf + i * 8, 8});
         co_await ctx.postSend();
         co_await ctx.sync();
     }

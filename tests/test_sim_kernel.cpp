@@ -647,9 +647,13 @@ TEST(Determinism, SmartTestbedMetricsAreByteIdentical)
                     smart::RemotePtr p = ctx.runtime().ptr(t % 2, off);
                     for (int i = 0; i < 40; ++i) {
                         std::uint64_t v = rng.next64();
-                        co_await ctx.writeSync(p, &v, 8);
+                        co_await ctx.access(
+                            p, smart::AccessOp::write(
+                                   smart::ConstMemSpan::of(v)));
                         std::uint64_t back = 0;
-                        co_await ctx.readSync(p, &back, 8);
+                        co_await ctx.access(
+                            p,
+                            smart::AccessOp::read(smart::MemSpan::of(back)));
                         EXPECT_EQ(back, v);
                     }
                 });
@@ -716,9 +720,12 @@ TEST(GrowthAudit, StagingAndTrackingBuffersStopGrowingWhenWarm)
                 Rng rng(7 + t);
                 while (!stop) {
                     std::uint64_t v = rng.next64();
-                    co_await ctx.writeSync(p, &v, 8);
+                    co_await ctx.access(
+                        p,
+                        smart::AccessOp::write(smart::ConstMemSpan::of(v)));
                     std::uint64_t back = 0;
-                    co_await ctx.readSync(p, &back, 8);
+                    co_await ctx.access(
+                        p, smart::AccessOp::read(smart::MemSpan::of(back)));
                     EXPECT_EQ(back, v);
                 }
             });

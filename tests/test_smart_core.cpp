@@ -224,9 +224,9 @@ TEST(SmartCtxOps, ReadWriteRoundTrip)
         std::uint64_t off = tb.memBlade(0).alloc(64);
         RemotePtr p = ctx.runtime().ptr(0, off);
         char out[16] = "hello smart";
-        co_await ctx.writeSync(p, out, 12);
+        co_await ctx.access(p, AccessOp::write(ConstMemSpan{out, 12}));
         char in[16] = {};
-        co_await ctx.readSync(p, in, 12);
+        co_await ctx.access(p, AccessOp::read(MemSpan{in, 12}));
         EXPECT_EQ(std::memcmp(in, out, 12), 0);
         done = true;
     });
@@ -243,12 +243,12 @@ TEST(SmartCtxOps, WriteBufferReusableImmediately)
         std::uint64_t off = tb.memBlade(0).alloc(64);
         RemotePtr p = ctx.runtime().ptr(0, off);
         char buf[8] = "AAAAAAA";
-        ctx.write(p, buf, 8);
+        ctx.write(p, ConstMemSpan{buf, 8});
         std::memset(buf, 'B', 8); // clobber before post
         co_await ctx.postSend();
         co_await ctx.sync();
         char in[8] = {};
-        co_await ctx.readSync(p, in, 8);
+        co_await ctx.access(p, AccessOp::read(MemSpan{in, 8}));
         EXPECT_EQ(in[0], 'A');
         done = true;
     });
@@ -264,8 +264,8 @@ TEST(SmartCtxOps, BatchAcrossBladesCompletes)
         std::uint64_t off0 = tb.memBlade(0).alloc(64);
         std::uint64_t off1 = tb.memBlade(1).alloc(64);
         std::uint8_t in0[8], in1[8];
-        ctx.read(ctx.runtime().ptr(0, off0), in0, 8);
-        ctx.read(ctx.runtime().ptr(1, off1), in1, 8);
+        ctx.read(ctx.runtime().ptr(0, off0), MemSpan{in0, 8});
+        ctx.read(ctx.runtime().ptr(1, off1), MemSpan{in1, 8});
         co_await ctx.postSend();
         co_await ctx.sync();
         done = true;
@@ -274,7 +274,7 @@ TEST(SmartCtxOps, BatchAcrossBladesCompletes)
     EXPECT_TRUE(done);
 }
 
-TEST(SmartCtxOps, CasSyncReportsSuccessAndOldValue)
+TEST(SmartCtxOps, CasAccessReportsSuccessAndOldValue)
 {
     Testbed tb(smallTestbed(presets::full()));
     int phase = 0;
@@ -286,18 +286,48 @@ TEST(SmartCtxOps, CasSyncReportsSuccessAndOldValue)
 
         std::uint64_t old = 0;
         bool ok = false;
-        co_await ctx.casSync(p, 5, 6, old, ok);
+        co_await ctx.access(p, AccessOp::cas(5, 6, old, ok));
         EXPECT_TRUE(ok);
         EXPECT_EQ(old, 5u);
         phase = 1;
 
-        co_await ctx.casSync(p, 5, 7, old, ok); // now holds 6
+        co_await ctx.access(p, AccessOp::cas(5, 7, old, ok)); // now holds 6
         EXPECT_FALSE(ok);
         EXPECT_EQ(old, 6u);
         phase = 2;
     });
     tb.sim().runUntil(sim::msec(10));
     EXPECT_EQ(phase, 2);
+}
+
+TEST(SmartCtxOps, DeprecatedSyncShimsStillWork)
+{
+    // The *Sync verbs are deprecated shims over access() for one PR;
+    // keep them covered until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    Testbed tb(smallTestbed(presets::full()));
+    bool done = false;
+    tb.compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
+        std::uint64_t off = tb.memBlade(0).alloc(64);
+        std::uint64_t seed = 5;
+        std::memcpy(tb.memBlade(0).bytesAt(off), &seed, 8);
+        RemotePtr p = ctx.runtime().ptr(0, off);
+        char out[16] = "legacy";
+        co_await ctx.writeSync(p + 16, out, 8);
+        char in[16] = {};
+        co_await ctx.readSync(p + 16, in, 8);
+        EXPECT_EQ(std::memcmp(in, out, 8), 0);
+        std::uint64_t old = 0;
+        bool ok = false;
+        co_await ctx.casSync(p, 5, 6, old, ok);
+        EXPECT_TRUE(ok);
+        EXPECT_EQ(old, 5u);
+        done = true;
+    });
+    tb.sim().runUntil(sim::msec(10));
+    EXPECT_TRUE(done);
+#pragma GCC diagnostic pop
 }
 
 TEST(SmartCtxOps, FaaAccumulates)
@@ -338,7 +368,7 @@ TEST(SmartCtxOps, BackoffCasRetryLoopConverges)
         RemotePtr p = ctx.runtime().ptr(0, off);
         for (int i = 0; i < 50; ++i) {
             std::uint64_t cur = 0;
-            co_await ctx.readSync(p, &cur, 8);
+            co_await ctx.access(p, AccessOp::read(MemSpan::of(cur)));
             for (;;) {
                 std::uint64_t old = 0;
                 bool ok = false;
@@ -399,7 +429,7 @@ TEST(Throttle, CreditsBoundOutstandingWrs)
         std::uint8_t buf[32 * 8];
         for (int iter = 0; iter < 20; ++iter) {
             for (int i = 0; i < 32; ++i)
-                ctx.read(ctx.runtime().ptr(0, 64 * i), buf + i * 8, 8);
+                ctx.read(ctx.runtime().ptr(0, 64 * i), MemSpan{buf + i * 8, 8});
             co_await ctx.postSend();
             co_await ctx.sync();
         }
@@ -434,7 +464,7 @@ TEST(Throttle, CreditAccountingBalances)
         std::uint8_t buf[64];
         for (int iter = 0; iter < 10; ++iter) {
             for (int i = 0; i < 8; ++i)
-                ctx.read(ctx.runtime().ptr(0, 64 * i), buf + i * 8, 8);
+                ctx.read(ctx.runtime().ptr(0, 64 * i), MemSpan{buf + i * 8, 8});
             co_await ctx.postSend();
             co_await ctx.sync();
         }
@@ -470,7 +500,7 @@ TEST(Throttle, EpochLoopSettlesOnCandidate)
             std::uint8_t buf[256];
             for (;;) {
                 for (int i = 0; i < 16; ++i)
-                    ctx.read(ctx.runtime().ptr(0, 64 * i), buf + i * 8, 8);
+                    ctx.read(ctx.runtime().ptr(0, 64 * i), MemSpan{buf + i * 8, 8});
                 co_await ctx.postSend();
                 co_await ctx.sync();
             }
@@ -511,7 +541,7 @@ TEST(Policies, EveryPolicyCompletesOps)
                 for (int iter = 0; iter < 5; ++iter) {
                     for (int i = 0; i < 8; ++i)
                         ctx.read(ctx.runtime().ptr(i % 2, 64 * i),
-                                 buf + i * 8, 8);
+                                 MemSpan{buf + i * 8, 8});
                     co_await ctx.postSend();
                     co_await ctx.sync();
                 }
@@ -536,7 +566,8 @@ TEST(Policies, PerThreadContextRegistersMrPerThread)
     int done = 0;
     tb.compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
         std::uint8_t buf[8];
-        co_await ctx.readSync(ctx.runtime().ptr(0, 0), buf, 8);
+        co_await ctx.access(ctx.runtime().ptr(0, 0),
+                            AccessOp::read(MemSpan{buf, 8}));
         ++done;
     });
     tb.sim().runUntil(sim::msec(5));

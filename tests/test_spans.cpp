@@ -46,7 +46,7 @@ spanWorker(SmartCtx &ctx, std::uint64_t &ops)
     std::uint8_t *buf = ctx.scratch(64);
     for (;;) {
         co_await ctx.opBegin();
-        co_await ctx.readSync(rt.ptr(0, 0), buf, 64);
+        co_await ctx.access(rt.ptr(0, 0), AccessOp::read(MemSpan{buf, 64}));
         if (ctx.failed())
             ctx.clearError();
         ctx.opEnd();

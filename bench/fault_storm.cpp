@@ -7,6 +7,12 @@
  * retry/reconnect machinery carries the workload back to its pre-fault
  * throughput. Reports per-phase throughput and the post/pre ratio —
  * the paper-style robustness claim is post_over_pre >= 0.9.
+ *
+ * A second scenario exercises membership churn: the FaultPlane fires
+ * periodic faults at the membership plane's "drain.mb1" target, so the
+ * blade gracefully drains (live migration out) and rejoins (rebalance
+ * back) on a timer while readers keep running. Gates: zero failed ops
+ * and post/pre >= 0.9 there as well.
  */
 
 #include <iostream>
@@ -18,6 +24,7 @@
 #include "sim/fault.hpp"
 #include "sim/random.hpp"
 #include "sim/table.hpp"
+#include "smart/membership.hpp"
 #include "smart/smart_ctx.hpp"
 
 using namespace smart;
@@ -67,6 +74,49 @@ struct Phase
     std::uint64_t ops = 0;
     std::uint64_t failed = 0;
 };
+
+/** Membership-churn worker: placement re-resolved every attempt. */
+Task
+churnWorker(SmartCtx &ctx, MembershipPlane &plane, std::uint64_t seed,
+            Shared &sh)
+{
+    SmartRuntime &rt = ctx.runtime();
+    sim::Rng rng(seed);
+    const std::uint64_t slots = plane.config().partBytes / 64;
+    std::uint8_t *buf = ctx.scratch(64);
+    for (;;) {
+        std::uint32_t part =
+            static_cast<std::uint32_t>(rng.uniform(plane.numPartitions()));
+        std::uint64_t off = rng.uniform(slots) * 64;
+        Time start = ctx.sim().now();
+        co_await ctx.opBegin();
+        bool done = false;
+        for (int attempt = 0; attempt < 256 && !done; ++attempt) {
+            while (plane.migrating(part))
+                co_await ctx.sim().delay(
+                    sim::cyclesToNs(8192 + rng.uniform(8192)));
+            std::uint32_t blade = plane.bladeOf(part);
+            if (blade == MembershipPlane::kNoBlade) {
+                co_await ctx.sim().delay(
+                    sim::cyclesToNs(8192 + rng.uniform(8192)));
+                continue;
+            }
+            co_await ctx.access(rt.ptr(blade,
+                                       plane.partitionOffset(part) + off),
+                                AccessOp::read(MemSpan{buf, 64}));
+            if (!ctx.failed()) {
+                done = true;
+                break;
+            }
+            ctx.clearError();
+        }
+        ctx.opEnd();
+        if (done)
+            rt.recordOp(ctx.sim().now() - start, 0);
+        else
+            ++sh.failedOps;
+    }
+}
 
 } // namespace
 
@@ -170,6 +220,117 @@ main(int argc, char **argv)
         std::cerr << "fault_storm: post/pre throughput ratio " << ratio
                   << " < 0.9\n";
         return 1;
+    }
+
+    // ---- scenario 2: membership churn -----------------------------------
+    // A separate cluster where the FaultPlane drives periodic graceful
+    // drain/rejoin cycles through the membership plane's "drain.mb1"
+    // fault target: mb1 leaves at t=6 ms and t=16 ms for 3 ms each,
+    // migrating its partitions out and rebalancing them back on rejoin.
+    {
+        const std::uint32_t cthreads = quick ? 2 : 4;
+        const std::uint32_t ccoros = 4;
+        TestbedConfig ccfg;
+        ccfg.computeBlades = 1;
+        ccfg.memoryBlades = 2;
+        ccfg.threadsPerBlade = cthreads;
+        ccfg.bladeBytes = 8ull << 20;
+        ccfg.smart = presets::full();
+        ccfg.smart.withBenchTimescale();
+        cli.configureCache(ccfg.smart);
+        ccfg.smart.corosPerThread = ccoros + 1; // +1 for migration worker
+        Testbed ctb(ccfg);
+        SmartRuntime &crt = ctb.compute(0);
+
+        MembershipPlane::Config pc;
+        pc.partitions = 16;
+        pc.partBytes = 64ull << 10;
+        pc.settleNs = sim::usec(100);
+        pc.healthCheckNs = sim::usec(200);
+        MembershipPlane plane(ctb.sim(), pc, "churn0");
+        plane.addRuntime(crt);
+        for (std::uint32_t m = 0; m < ctb.numMemBlades(); ++m)
+            plane.addBlade(ctb.memBlade(m));
+        plane.seedPartitions();
+        plane.startHealthMonitor();
+        plane.enableChurnTargets();
+
+        sim::FaultPlane &cfp = ctb.faultPlane(0xc442 + cli.seed());
+        cfp.periodic(sim::msec(6), sim::msec(10), sim::FaultKind::Crash,
+                     "drain.mb1", sim::msec(3));
+
+        Shared csh;
+        for (std::uint32_t t = 0; t < cthreads; ++t) {
+            for (std::uint32_t k = 0; k < ccoros; ++k) {
+                std::uint64_t seed = 0xc4a0 + t * 131ull + k * 7ull +
+                                     cli.seed() * 0x9e3779b97f4a7c15ull;
+                crt.spawnWorker(t, [&plane, &csh, seed](SmartCtx &ctx) {
+                    return churnWorker(ctx, plane, seed, csh);
+                });
+            }
+        }
+
+        std::vector<Phase> cphases = {
+            {"pre", sim::msec(2), sim::msec(6)},
+            {"churn", sim::msec(6), sim::msec(21)},
+            {"post", sim::msec(21), sim::msec(25)},
+        };
+        ctb.sim().runUntil(cphases.front().start);
+        for (Phase &ph : cphases) {
+            ctb.sim().runUntil(ph.start);
+            std::uint64_t ops0 = crt.appOps.value();
+            std::uint64_t failed0 = csh.failedOps;
+            ctb.sim().runUntil(ph.end);
+            ph.ops = crt.appOps.value() - ops0;
+            ph.failed = csh.failedOps - failed0;
+        }
+
+        std::cout << "== Membership churn: periodic drain/rejoin of mb1 ("
+                  << cthreads << " threads x " << ccoros << " coros) ==\n";
+        sim::Table ct({"phase", "start_ms", "end_ms", "ops", "mops",
+                       "failed_ops"});
+        for (const Phase &ph : cphases) {
+            ct.row()
+                .cell(std::string(ph.name))
+                .cell(static_cast<std::uint64_t>(ph.start / 1'000'000))
+                .cell(static_cast<std::uint64_t>(ph.end / 1'000'000))
+                .cell(ph.ops)
+                .cell(mops(ph), 2)
+                .cell(ph.failed);
+        }
+        cli.addTable("fault_storm_churn_phases", ct);
+
+        double cpre = mops(cphases[0]);
+        double cchurn = mops(cphases[1]);
+        double cpost = mops(cphases[2]);
+        double cratio = cpre > 0 ? cpost / cpre : 0.0;
+        sim::Table cs({"pre_mops", "churn_mops", "post_mops",
+                       "post_over_pre", "drains", "joins", "migrated_parts",
+                       "epoch", "failed_ops"});
+        cs.row()
+            .cell(cpre, 2)
+            .cell(cchurn, 2)
+            .cell(cpost, 2)
+            .cell(cratio, 3)
+            .cell(plane.drainCount())
+            .cell(plane.joinCount())
+            .cell(plane.migratedPartitions())
+            .cell(plane.view().epoch())
+            .cell(csh.failedOps);
+        cli.addTable("fault_storm_churn_summary", cs);
+
+        plane.stopHealthMonitor();
+
+        if (csh.failedOps != 0) {
+            std::cerr << "fault_storm: churn surfaced " << csh.failedOps
+                      << " failed ops (want 0)\n";
+            return 1;
+        }
+        if (cratio < 0.9) {
+            std::cerr << "fault_storm: churn post/pre throughput ratio "
+                      << cratio << " < 0.9\n";
+            return 1;
+        }
     }
     return cli.finish();
 }

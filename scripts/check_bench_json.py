@@ -112,6 +112,8 @@ def validate(report):
         validate_fault_storm(report)
     if report["bench"] == "cache_crossover":
         validate_cache_crossover(report)
+    if report["bench"] == "elasticity":
+        validate_elasticity(report)
     print(f"check_bench_json: OK: {report['bench']} "
           f"({len(report['tables'])} tables, {len(report['runs'])} runs)")
 
@@ -206,6 +208,90 @@ def validate_fault_storm(report):
           f"post-recovery throughput ratio {ratio} < 0.9")
     check(float(row[cols["during_mops"]]) > 0,
           "throughput collapsed to zero during the fault")
+
+    # Scenario 2: membership churn (periodic drain/rejoin cycles).
+    cphases = tables.get("fault_storm_churn_phases")
+    check(cphases is not None,
+          "fault_storm report missing churn phases table")
+    cols = {name: i for i, name in enumerate(cphases["header"])}
+    for col in ("phase", "mops", "failed_ops"):
+        check(col in cols,
+              f"fault_storm_churn_phases missing column {col!r}")
+    seen = [row[cols["phase"]] for row in cphases["rows"]]
+    check(seen == ["pre", "churn", "post"],
+          f"churn phases must be pre/churn/post, got {seen}")
+    for row in cphases["rows"]:
+        check(float(row[cols["mops"]]) > 0,
+              f"churn phase {row[cols['phase']]}: zero throughput")
+        check(int(row[cols["failed_ops"]]) == 0,
+              f"churn phase {row[cols['phase']]}: "
+              f"{row[cols['failed_ops']]} failed ops (want 0)")
+
+    csum = tables.get("fault_storm_churn_summary")
+    check(csum is not None,
+          "fault_storm report missing churn summary table")
+    cols = {name: i for i, name in enumerate(csum["header"])}
+    for col in ("post_over_pre", "drains", "joins", "migrated_parts",
+                "failed_ops"):
+        check(col in cols,
+              f"fault_storm_churn_summary missing column {col!r}")
+    row = csum["rows"][0]
+    check(float(row[cols["post_over_pre"]]) >= 0.9,
+          f"churn post/pre ratio {row[cols['post_over_pre']]} < 0.9")
+    check(int(row[cols["drains"]]) >= 2,
+          f"churn ran only {row[cols['drains']]} drains (want >= 2)")
+    check(int(row[cols["joins"]]) >= 1,
+          f"churn ran only {row[cols['joins']]} rejoins (want >= 1)")
+    check(int(row[cols["migrated_parts"]]) > 0,
+          "churn migrated no partitions")
+    check(int(row[cols["failed_ops"]]) == 0,
+          f"churn surfaced {row[cols['failed_ops']]} failed ops")
+
+
+def validate_elasticity(report):
+    """Drain + join + crash must be invisible to the application."""
+    tables = {t["name"]: t for t in report["tables"]}
+
+    phases = tables.get("elasticity_phases")
+    check(phases is not None, "elasticity report missing phases table")
+    cols = {name: i for i, name in enumerate(phases["header"])}
+    for col in ("phase", "mops"):
+        check(col in cols, f"elasticity_phases missing column {col!r}")
+    seen = [row[cols["phase"]] for row in phases["rows"]]
+    check(seen == ["pre", "drain", "join", "crash", "post"],
+          f"elasticity phases must be pre/drain/join/crash/post, got {seen}")
+    for row in phases["rows"]:
+        check(float(row[cols["mops"]]) > 0,
+              f"elasticity phase {row[cols['phase']]}: zero throughput")
+
+    tl = tables.get("elasticity_timeline")
+    check(tl is not None, "elasticity report missing timeline table")
+    check(len(tl["rows"]) >= 30,
+          f"elasticity timeline has {len(tl['rows'])} buckets (want >= 30)")
+
+    mt = tables.get("elasticity_membership")
+    check(mt is not None, "elasticity report missing membership table")
+    cols = {name: i for i, name in enumerate(mt["header"])}
+    for col in ("migrated_parts", "joins", "drains", "failovers", "epoch"):
+        check(col in cols, f"elasticity_membership missing column {col!r}")
+    row = mt["rows"][0]
+    check(int(row[cols["migrated_parts"]]) > 0, "no partitions migrated")
+    check(int(row[cols["joins"]]) >= 1, "no blade joined")
+    check(int(row[cols["drains"]]) >= 1, "no blade drained")
+    check(int(row[cols["failovers"]]) >= 1, "no failover ran")
+    check(int(row[cols["epoch"]]) > 0, "cluster epoch never advanced")
+
+    degr = tables.get("elasticity_degradation")
+    check(degr is not None, "elasticity report missing degradation table")
+    cols = {name: i for i, name in enumerate(degr["header"])}
+    for col in ("pre_mops", "post_mops", "post_over_pre", "failed_ops",
+                "fenced_retries"):
+        check(col in cols, f"elasticity_degradation missing column {col!r}")
+    row = degr["rows"][0]
+    check(int(row[cols["failed_ops"]]) == 0,
+          f"elasticity surfaced {row[cols['failed_ops']]} failed ops")
+    ratio = float(row[cols["post_over_pre"]])
+    check(ratio >= 0.9, f"elasticity post/pre ratio {ratio} < 0.9")
 
 
 def validate_cache_crossover(report):

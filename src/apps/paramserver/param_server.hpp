@@ -5,6 +5,11 @@
  * OLTP). Embedding vectors live sharded across memory blades; workers
  * `pull` rows with batched READs and `push` gradients with batched FAAs,
  * so concurrent updates merge without locks or retries.
+ *
+ * Sharding is by residue class (row % numShards) through a mutable
+ * shard map. In elastic mode every blade pre-allocates a region for
+ * every residue class, so a class can be re-homed onto a survivor after
+ * a blade crash (removeBlade) without address arithmetic changing shape.
  */
 
 #ifndef SMART_APPS_PARAMSERVER_PARAM_SERVER_HPP
@@ -29,36 +34,92 @@ namespace smart::paramserver {
 class ParamServer
 {
   public:
+    /**
+     * @param elastic when true, every blade hosts a region for every
+     *        residue class so removeBlade() can re-home classes after a
+     *        crash; when false the classic one-region-per-blade layout
+     *        is kept byte-identical to earlier revisions.
+     */
     ParamServer(std::vector<memblade::MemoryBlade *> blades,
-                std::uint64_t num_rows, std::uint32_t dim)
-        : blades_(std::move(blades)), numRows_(num_rows), dim_(dim)
+                std::uint64_t num_rows, std::uint32_t dim,
+                bool elastic = false)
+        : blades_(std::move(blades)), numRows_(num_rows), dim_(dim),
+          elastic_(elastic)
     {
         rowBytes_ = dim_ * 8ull;
-        for (auto *blade : blades_) {
-            std::uint64_t rows_here =
-                (num_rows + blades_.size() - 1) / blades_.size();
-            std::uint64_t base = blade->alloc(rows_here * rowBytes_, 64);
-            std::memset(blade->bytesAt(base), 0, rows_here * rowBytes_);
-            shardBase_.push_back(base);
+        std::uint32_t shards = numShards();
+        std::uint64_t rows_here = (num_rows + shards - 1) / shards;
+        regionBytes_ = rows_here * rowBytes_;
+        regionBase_.assign(blades_.size(),
+                           std::vector<std::uint64_t>(shards, ~0ull));
+        shardMap_.resize(shards);
+        for (std::uint32_t r = 0; r < shards; ++r)
+            shardMap_[r] = r;
+        for (std::uint32_t b = 0; b < blades_.size(); ++b) {
+            if (elastic_) {
+                for (std::uint32_t r = 0; r < shards; ++r) {
+                    std::uint64_t base =
+                        blades_[b]->alloc(regionBytes_, 64);
+                    std::memset(blades_[b]->bytesAt(base), 0, regionBytes_);
+                    regionBase_[b][r] = base;
+                }
+            } else {
+                std::uint64_t base = blades_[b]->alloc(regionBytes_, 64);
+                std::memset(blades_[b]->bytesAt(base), 0, regionBytes_);
+                regionBase_[b][b] = base;
+            }
         }
     }
 
     std::uint64_t numRows() const { return numRows_; }
     std::uint32_t dim() const { return dim_; }
+    std::uint32_t numShards() const { return std::uint32_t(blades_.size()); }
 
-    /** Blade index holding @p row. */
+    /** Blade index currently hosting @p row's residue class. */
     std::uint32_t
     shardOf(std::uint64_t row) const
     {
-        return static_cast<std::uint32_t>(row % blades_.size());
+        return shardMap_[row % numShards()];
     }
 
-    /** Byte offset of @p row within its shard blade. */
+    /** Byte offset of @p row within its current host blade. */
     std::uint64_t
     rowOffset(std::uint64_t row) const
     {
-        return shardBase_[shardOf(row)] +
-               (row / blades_.size()) * rowBytes_;
+        std::uint32_t cls = std::uint32_t(row % numShards());
+        std::uint64_t base = regionBase_[shardMap_[cls]][cls];
+        assert(base != ~0ull);
+        return base + (row / numShards()) * rowBytes_;
+    }
+
+    /**
+     * Re-home every residue class hosted by @p dead_blade onto the
+     * remaining blades round-robin (ascending, skipping @p dead_blade)
+     * and zero the target regions: crash semantics — the gradients died
+     * with the blade, survivors restart those classes from zero.
+     * Elastic mode only. @return number of classes moved
+     */
+    std::uint32_t
+    removeBlade(std::uint32_t dead_blade)
+    {
+        assert(elastic_);
+        std::vector<std::uint32_t> survivors;
+        for (std::uint32_t b = 0; b < blades_.size(); ++b)
+            if (b != dead_blade && !blades_[b]->crashed())
+                survivors.push_back(b);
+        if (survivors.empty())
+            return 0;
+        std::uint32_t moved = 0;
+        for (std::uint32_t cls = 0; cls < shardMap_.size(); ++cls) {
+            if (shardMap_[cls] != dead_blade)
+                continue;
+            std::uint32_t dst = survivors[moved % survivors.size()];
+            shardMap_[cls] = dst;
+            std::memset(blades_[dst]->bytesAt(regionBase_[dst][cls]), 0,
+                        regionBytes_);
+            ++moved;
+        }
+        return moved;
     }
 
     /**
@@ -133,8 +194,13 @@ class ParamServer
     std::vector<memblade::MemoryBlade *> blades_;
     std::uint64_t numRows_;
     std::uint32_t dim_;
+    bool elastic_;
     std::uint64_t rowBytes_;
-    std::vector<std::uint64_t> shardBase_;
+    std::uint64_t regionBytes_;
+    /** regionBase_[blade][residue class]; ~0 when not allocated. */
+    std::vector<std::vector<std::uint64_t>> regionBase_;
+    /** residue class -> hosting blade index. */
+    std::vector<std::uint32_t> shardMap_;
 };
 
 } // namespace smart::paramserver

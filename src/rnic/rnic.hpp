@@ -110,6 +110,9 @@ struct WorkReq
     std::uint64_t appTag = 0;
     /** Sync-round epoch; CQEs from abandoned rounds are ignored. */
     std::uint32_t syncEpoch = 0;
+    /** Connected-blade index this WR targets (set at stage time; the
+     *  completion path uses it for per-blade outstanding accounting). */
+    std::uint32_t bladeIdx = 0;
     /**
      * Compute-side cache-tier routing cookie (0 for ordinary WRs).
      * Encodes a fill / write-back / invalidation action plus a frame

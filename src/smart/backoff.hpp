@@ -34,6 +34,32 @@ backoffCycles(std::uint64_t t0_cycles, std::uint64_t tmax_cycles,
 }
 
 /**
+ * Decorrelated jitter (the AWS "decorrelated" variant): each delay is
+ * drawn uniformly from [t0, 3 * prev] and truncated at t_max, with the
+ * draw itself feeding the next interval. Unlike the exponential ladder
+ * above, concurrent retriers that failed at the same instant spread out
+ * immediately instead of colliding again at the same power-of-two slots —
+ * which is what a membership event (blade drain/crash) would otherwise
+ * provoke against the surviving blades.
+ *
+ * Deterministic per (seed, call sequence); @p prev_cycles carries the
+ * caller's jitter state across calls (reset it to 0 when the condition
+ * being waited on clears).
+ */
+inline std::uint64_t
+decorrelatedJitterCycles(std::uint64_t t0_cycles, std::uint64_t tmax_cycles,
+                         std::uint64_t &prev_cycles, sim::Rng &rng)
+{
+    std::uint64_t prev = std::max(prev_cycles, t0_cycles);
+    std::uint64_t hi = std::min(prev * 3, tmax_cycles);
+    std::uint64_t t = hi <= t0_cycles
+                          ? t0_cycles
+                          : t0_cycles + rng.uniform(hi - t0_cycles + 1);
+    prev_cycles = t;
+    return t;
+}
+
+/**
  * Water-mark adaptation state for one thread: dynamic t_max (backoff
  * truncation) and c_max (coroutine concurrency). Fed with the retry rate
  * γ once per sampling window.

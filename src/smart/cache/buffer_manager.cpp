@@ -35,6 +35,7 @@ BufferManager::BufferManager(SmartRuntime &rt, const CacheConfig &cfg)
     m.registerCounter(this, "smart.cache.invalidations", labels,
                       &invalidations_);
     m.registerCounter(this, "smart.cache.pool_exhausted", labels, &exhausted_);
+    m.registerCounter(this, "smart.cache.handoffs", labels, &handoffs_);
     m.registerGauge(this, "smart.cache.resident_lines", labels,
                     [this] { return static_cast<double>(residentLines()); });
     m.registerGauge(this, "smart.cache.dirty_lines", labels,
@@ -230,6 +231,14 @@ BufferManager::prefetchInto(SmartCtx &ctx, std::uint32_t blade,
                             bool &staged, std::uint32_t *pf,
                             std::uint32_t &npf, std::uint32_t pf_cap)
 {
+    if (cfg_.prefetchLines == 0)
+        return;
+    // Degradation level 1: an overloaded blade stops receiving optional
+    // prefetch fills before anything user-visible is shed.
+    if (rt_.overloadLevel(blade) >= 1) {
+        rt_.noteShedPrefetch();
+        return;
+    }
     for (std::uint32_t j = 1; j <= cfg_.prefetchLines; ++j) {
         if (npf == pf_cap)
             return;
@@ -563,6 +572,62 @@ BufferManager::flushBlade(std::uint32_t blade)
         wakeWaiters(f);
         tryReclaim(i);
     }
+}
+
+std::uint32_t
+BufferManager::handoffRange(std::uint32_t from_blade,
+                            std::uint32_t to_blade, std::uint64_t offset,
+                            std::uint64_t len)
+{
+    if (len == 0)
+        return 0;
+    std::uint32_t moved = 0;
+    std::uint64_t first = offset / cfg_.lineBytes;
+    std::uint64_t last = (offset + len - 1) / cfg_.lineBytes;
+    // Probe per line of the migrated range (never iterate the table:
+    // iteration order would leak hash-map layout into the event stream).
+    for (std::uint64_t li = first; li <= last; ++li) {
+        auto it = table_.find(makeKey(from_blade, li));
+        if (it == table_.end())
+            continue;
+        std::uint32_t idx = it->second;
+        Frame &f = frames_[idx];
+        if (f.state == FrameState::Loading) {
+            // Fill from the source still in flight: its bytes may
+            // predate the migration copy. Invalidate; readers refetch
+            // from the destination.
+            invalidations_.add();
+            f.staleOnFill = true;
+            detach(f);
+            wakeWaiters(f);
+            continue;
+        }
+        LineKey nk = makeKey(to_blade, li);
+        auto dst = table_.find(nk);
+        if (dst != table_.end()) {
+            // The destination line is already resident (e.g. a racing
+            // fill after the map flipped): keep it, drop the source copy.
+            invalidations_.add();
+            f.dirty = false;
+            detach(f);
+            wakeWaiters(f);
+            tryReclaim(idx);
+            continue;
+        }
+        table_.erase(it);
+        f.key = nk;
+        table_.emplace(nk, idx);
+        if (f.wbInFlight) {
+            // The in-flight write-back targeted the source blade; those
+            // bytes never reach the destination, so the frame must be
+            // written back again under the new key.
+            f.dirty = true;
+            ++f.dirtyGen;
+        }
+        handoffs_.add();
+        ++moved;
+    }
+    return moved;
 }
 
 void

@@ -154,6 +154,27 @@ class BufferManager
     /** Drop every line of @p blade (crash-restart MR invalidation). */
     void flushBlade(std::uint32_t blade);
 
+    /**
+     * Blade-drain handoff: re-key every resident line of
+     * [@p offset, @p offset + @p len) from @p from_blade to the same
+     * offsets on @p to_blade (the membership plane migrates partition
+     * regions to identical offsets, so only the blade half of the key
+     * changes). The frame bytes do not move and pins survive — a reader
+     * holding a pinned view keeps it across the drain. Dirty frames stay
+     * dirty under the new key, so their eventual write-back targets the
+     * destination; a write-back already in flight to the source is
+     * re-dirtied (its bytes never reached the destination). Lines
+     * mid-fill from the source are invalidated instead (the fill bytes
+     * may predate the migration copy).
+     * @return number of lines handed off
+     */
+    std::uint32_t handoffRange(std::uint32_t from_blade,
+                               std::uint32_t to_blade, std::uint64_t offset,
+                               std::uint64_t len);
+
+    /** Lines re-keyed by handoffRange so far. */
+    std::uint64_t handoffCount() const { return handoffs_.value(); }
+
     /** Compare @p blade's incarnation against the last one seen and
      *  flush its lines after a crash/restart cycle. */
     void checkIncarnation(std::uint32_t blade);
@@ -323,6 +344,7 @@ class BufferManager
     sim::Counter prefetches_;
     sim::Counter invalidations_;
     sim::Counter exhausted_;
+    sim::Counter handoffs_;
 };
 
 } // namespace cache

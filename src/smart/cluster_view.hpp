@@ -1,0 +1,174 @@
+/**
+ * @file
+ * ClusterView: the membership plane's authoritative picture of which
+ * memory blades exist and what state each is in, stamped with a
+ * monotonically increasing epoch.
+ *
+ * One ClusterView is shared by every SmartRuntime of a simulation (it is
+ * owned by the MembershipPlane; runtimes hold a pointer installed through
+ * SmartRuntime::setClusterView). SmartCtx::access consults it on entry —
+ * an access addressing a Dead blade is *fenced*: the coroutine re-resolves
+ * a bounded number of times (decorrelated-jitter spaced) and then surfaces
+ * a typed VerbError::Kind::StaleView instead of burning its verb-retry
+ * budget against a blade that is gone. With no view installed (the
+ * default) none of this is consulted and event streams are byte-identical
+ * to pre-membership builds.
+ *
+ * Epochs are bumped on every state transition *and* on every partition
+ * move, so any cached placement decision can be validated with one
+ * integer compare.
+ */
+
+#ifndef SMART_SMART_CLUSTER_VIEW_HPP
+#define SMART_SMART_CLUSTER_VIEW_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace smart {
+
+/** Lifecycle of one memory blade as the membership plane sees it. */
+enum class BladeState : std::uint8_t
+{
+    Absent,   ///< never announced (or index out of range)
+    Joining,  ///< MR/QP bring-up done, partition migration in progress
+    Active,   ///< full member: placement and access both allowed
+    Draining, ///< no new placement; existing partitions migrating out
+    Dead,     ///< removed or crashed: every access is fenced
+};
+
+/** @return a short stable name for @p s (reports, logs). */
+inline const char *
+bladeStateName(BladeState s)
+{
+    switch (s) {
+      case BladeState::Absent: return "absent";
+      case BladeState::Joining: return "joining";
+      case BladeState::Active: return "active";
+      case BladeState::Draining: return "draining";
+      case BladeState::Dead: return "dead";
+    }
+    return "?";
+}
+
+/**
+ * Seeded, deterministic membership state. All mutation happens through
+ * set(), which bumps the epoch; readers only compare integers, so the
+ * healthy-path cost of an installed view is one pointer test plus one
+ * enum load per access.
+ */
+class ClusterView
+{
+  public:
+    ClusterView(sim::Simulator &sim, std::string cluster)
+        : sim_(sim), cluster_(std::move(cluster))
+    {
+        sim::Labels labels{{"cluster", cluster_}};
+        sim::MetricsRegistry &m = sim_.metrics();
+        m.registerCounter(this, "smart.cluster.events", labels, &events_);
+        m.registerCounter(this, "smart.cluster.fenced_accesses", labels,
+                          &fenced_);
+        m.registerGauge(this, "smart.cluster.epoch", labels, [this] {
+            return static_cast<double>(epoch_);
+        });
+        m.registerGauge(this, "smart.cluster.active_blades", labels,
+                        [this] {
+                            return static_cast<double>(activeBlades());
+                        });
+    }
+
+    ~ClusterView() { sim_.metrics().unregisterOwner(this); }
+
+    ClusterView(const ClusterView &) = delete;
+    ClusterView &operator=(const ClusterView &) = delete;
+
+    /** @return current view epoch (bumps on every membership change). */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** @return state of blade @p idx (Absent when unknown). */
+    BladeState
+    state(std::uint32_t idx) const
+    {
+        return idx < entries_.size() ? entries_[idx].state
+                                     : BladeState::Absent;
+    }
+
+    /** @return the epoch at which blade @p idx last changed state. */
+    std::uint64_t
+    lastChange(std::uint32_t idx) const
+    {
+        return idx < entries_.size() ? entries_[idx].lastChangeEpoch : 0;
+    }
+
+    /** @return true when accesses to blade @p idx must not be issued. */
+    bool fenced(std::uint32_t idx) const
+    {
+        return state(idx) == BladeState::Dead;
+    }
+
+    /** @return true when new placement on blade @p idx is allowed. */
+    bool placeable(std::uint32_t idx) const
+    {
+        return state(idx) == BladeState::Active;
+    }
+
+    /** @return number of blades currently Active. */
+    std::uint32_t
+    activeBlades() const
+    {
+        std::uint32_t n = 0;
+        for (const Entry &e : entries_) {
+            if (e.state == BladeState::Active)
+                ++n;
+        }
+        return n;
+    }
+
+    /** Transition blade @p idx to @p s, bumping the view epoch. */
+    void
+    set(std::uint32_t idx, BladeState s)
+    {
+        if (entries_.size() <= idx)
+            entries_.resize(idx + 1);
+        if (entries_[idx].state == s)
+            return;
+        entries_[idx].state = s;
+        entries_[idx].lastChangeEpoch = ++epoch_;
+        events_.add();
+    }
+
+    /** Bump the epoch without a state change (a partition moved). */
+    void bumpEpoch() { ++epoch_; }
+
+    /** Record one fenced access (SmartCtx calls this). */
+    void noteFenced() { fenced_.add(); }
+
+    /** @return total membership transitions so far. */
+    std::uint64_t eventCount() const { return events_.value(); }
+
+    /** @return total accesses fenced at SmartCtx so far. */
+    std::uint64_t fencedCount() const { return fenced_.value(); }
+
+  private:
+    struct Entry
+    {
+        BladeState state = BladeState::Absent;
+        std::uint64_t lastChangeEpoch = 0;
+    };
+
+    sim::Simulator &sim_;
+    std::string cluster_;
+    std::vector<Entry> entries_;
+    std::uint64_t epoch_ = 0;
+    sim::Counter events_;
+    sim::Counter fenced_;
+};
+
+} // namespace smart
+
+#endif // SMART_SMART_CLUSTER_VIEW_HPP

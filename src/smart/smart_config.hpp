@@ -143,6 +143,36 @@ struct SmartConfig
      */
     sim::Time verbTimeoutNs = sim::msec(1);
 
+    // ---- Membership-plane epoch fencing (consulted only when a
+    //      ClusterView is installed on the runtime) ----
+    /**
+     * Fenced-access re-resolve budget: how many decorrelated-jitter
+     * spaced polls access() makes against a Dead blade (waiting for the
+     * placement to be redirected) before surfacing a typed
+     * VerbError::Kind::StaleView to the application.
+     */
+    std::uint32_t maxViewWaits = 8;
+    /** Decorrelated-jitter base for fence polls (≈ 2 round trips). */
+    std::uint64_t viewJitterUnitCycles = 8192;
+    /** Decorrelated-jitter truncation for fence polls. */
+    std::uint64_t viewJitterMaxCycles = 1ull << 20;
+
+    // ---- Overload-side graceful degradation (off unless set) ----
+    /**
+     * Per-blade outstanding-WR watermark at which the first degradation
+     * level engages: cache prefetch to that blade is shed. 0 disables
+     * the whole ladder (the default; healthy benches are untouched).
+     */
+    std::uint32_t overloadLowWm = 0;
+    /**
+     * Second level: doorbell batches to an overloaded blade are posted
+     * in overloadChunkWrs-sized chunks instead of one coalesced ring,
+     * pacing the blade at the cost of extra doorbells.
+     */
+    std::uint32_t overloadHighWm = 0;
+    /** Chunk size used while the second level is active. */
+    std::uint32_t overloadChunkWrs = 4;
+
     // ---- Compute-side cache tier (off unless sizeBytes > 0) ----
     CacheConfig cache;
 
@@ -204,6 +234,29 @@ struct SmartConfig
     {
         maxVerbRetries = max_retries;
         verbTimeoutNs = timeout_ns;
+        return *this;
+    }
+
+    /** Set the fenced-access re-resolve budget (membership runs). */
+    SmartConfig &
+    withViewFencePolicy(std::uint32_t max_waits, std::uint64_t t0_cycles,
+                        std::uint64_t tmax_cycles)
+    {
+        maxViewWaits = max_waits;
+        viewJitterUnitCycles = t0_cycles;
+        viewJitterMaxCycles = tmax_cycles;
+        return *this;
+    }
+
+    /** Arm the overload degradation ladder (@p low sheds prefetch,
+     *  @p high chunks doorbell batches, 2 * @p high delays user ops). */
+    SmartConfig &
+    withOverloadWatermarks(std::uint32_t low, std::uint32_t high,
+                           std::uint32_t chunk_wrs = 4)
+    {
+        overloadLowWm = low;
+        overloadHighWm = high;
+        overloadChunkWrs = chunk_wrs;
         return *this;
     }
 

@@ -26,6 +26,8 @@ verbErrorKindName(VerbError::Kind k)
         return "retries_exhausted";
     case VerbError::Kind::Timeout:
         return "timeout";
+    case VerbError::Kind::StaleView:
+        return "stale_view";
     }
     return "unknown";
 }
@@ -346,6 +348,28 @@ SmartCtx::sync()
     }
     std::uint32_t attempt = 0;
     while (!failed_.empty()) {
+        // Epoch fence inside the retry loop: WRs whose target blade the
+        // cluster view declared Dead will never succeed — surface
+        // StaleView immediately instead of spending the whole budget
+        // (this is what abandons in-flight doorbell batches to a
+        // fenced blade).
+        if (ClusterView *cv = rt_.clusterView()) {
+            bool fenced = false;
+            for (const TrackedWr &t : failed_) {
+                if (cv->fenced(t.blade)) {
+                    fenced = true;
+                    break;
+                }
+            }
+            if (fenced) {
+                cv->noteFenced();
+                failed_.clear();
+                thr_.verbExhausted.add();
+                error_ = {VerbError::Kind::StaleView, lastFailStatus_};
+                endVerbSpan();
+                co_return;
+            }
+        }
         if (attempt >= cfg.maxVerbRetries) {
             failed_.clear();
             thr_.verbExhausted.add();
@@ -426,8 +450,61 @@ SmartCtx::casAccess(RemotePtr dst, std::uint64_t expect,
 }
 
 Task
+SmartCtx::admitAccess(std::uint32_t blade_idx)
+{
+    const SmartConfig &cfg = rt_.config();
+    // Degradation level 3: shed user ops last — one jittered admission
+    // delay per access while the blade is saturated.
+    if (cfg.overloadLowWm != 0 && rt_.overloadLevel(blade_idx) >= 3) {
+        rt_.noteOpDelay();
+        std::uint64_t cycles = decorrelatedJitterCycles(
+            cfg.viewJitterUnitCycles, cfg.viewJitterMaxCycles,
+            viewJitterPrev_, thr_.rng());
+        Time t0 = sim().now();
+        co_await sim().delay(sim::cyclesToNs(cycles));
+        if (opSpan_ != 0)
+            rt_.sim().spans()->record(track_, sim::Stage::BackoffSleep,
+                                      currentSpan(), t0, sim().now());
+    }
+    ClusterView *cv = rt_.clusterView();
+    if (cv == nullptr || !cv->fenced(blade_idx))
+        co_return;
+    // Epoch fence: the target blade is Dead in the current view. Poll a
+    // bounded number of times (membership redirection may still be in
+    // flight), then surface a typed StaleView so the application
+    // re-resolves placement instead of touching the dead blade.
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        cv->noteFenced();
+        if (attempt >= cfg.maxViewWaits) {
+            error_ = {VerbError::Kind::StaleView, lastFailStatus_};
+            co_return;
+        }
+        std::uint64_t cycles = decorrelatedJitterCycles(
+            cfg.viewJitterUnitCycles, cfg.viewJitterMaxCycles,
+            viewJitterPrev_, thr_.rng());
+        Time t0 = sim().now();
+        co_await sim().delay(sim::cyclesToNs(cycles));
+        if (opSpan_ != 0)
+            rt_.sim().spans()->record(track_, sim::Stage::BackoffSleep,
+                                      currentSpan(), t0, sim().now());
+        if (!cv->fenced(blade_idx)) {
+            viewJitterPrev_ = 0;
+            co_return;
+        }
+    }
+}
+
+Task
 SmartCtx::access(RemotePtr p, AccessOp op, CachePolicy pol)
 {
+    // Membership fence + overload admission (zero-cost when neither a
+    // ClusterView nor overload watermarks are installed).
+    if (rt_.clusterView() != nullptr ||
+        rt_.config().overloadLowWm != 0) [[unlikely]] {
+        co_await admitAccess(bladeIndex(p));
+        if (failed())
+            co_return;
+    }
     cache::BufferManager *bm = rt_.cache();
     switch (op.mode_) {
     case AccessMode::Read: {
@@ -480,6 +557,15 @@ SmartCtx::access(RemotePtr p, AccessOp op, CachePolicy pol)
 Task
 SmartCtx::accessMany(const ReadPart *parts, std::uint32_t nparts, CachePolicy pol)
 {
+    if ((rt_.clusterView() != nullptr ||
+         rt_.config().overloadLowWm != 0) &&
+        nparts > 0) [[unlikely]] {
+        for (std::uint32_t i = 0; i < nparts; ++i) {
+            co_await admitAccess(bladeIndex(parts[i].src));
+            if (failed())
+                co_return;
+        }
+    }
     cache::BufferManager *bm = rt_.cache();
     bool cached = bm != nullptr && pol == CachePolicy::Cached &&
                   nparts <= cache::kMaxParts;
@@ -556,29 +642,6 @@ SmartCtx::cacheCharge(Time d)
     if (opSpan_ != 0)
         rt_.sim().spans()->record(track_, sim::Stage::Cache, currentSpan(),
                                   t0, sim().now());
-}
-
-Task
-SmartCtx::readSync(RemotePtr src, void *local_buf, std::uint32_t len)
-{
-    read(src, MemSpan{local_buf, len});
-    co_await postSend();
-    co_await sync();
-}
-
-Task
-SmartCtx::writeSync(RemotePtr dst, const void *local_buf, std::uint32_t len)
-{
-    write(dst, ConstMemSpan{local_buf, len});
-    co_await postSend();
-    co_await sync();
-}
-
-Task
-SmartCtx::casSync(RemotePtr dst, std::uint64_t expect, std::uint64_t desired,
-                  std::uint64_t &old_value, bool &success)
-{
-    co_await casAccess(dst, expect, desired, old_value, success);
 }
 
 Task

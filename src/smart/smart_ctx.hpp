@@ -17,8 +17,11 @@
  *    Bypass paths are identical staged-verb sequences, so event streams
  *    stay byte-identical to cache-less builds.
  *
- * The readSync/writeSync/casSync combinations are deprecated shims over
- * access() kept for one PR; new code should use access() directly.
+ * With a ClusterView installed (membership runs), access()/accessMany()
+ * fence at entry: an access addressing a Dead blade re-resolves a bounded
+ * number of jittered polls and then surfaces VerbError::Kind::StaleView,
+ * and a sync round whose failed WRs target a fenced blade gives up
+ * immediately instead of burning its retry budget against a dead blade.
  */
 
 #ifndef SMART_SMART_CTX_HPP
@@ -53,6 +56,10 @@ struct VerbError
         /** A sync round was abandoned by the verb timeout and its
          *  retries then failed too. */
         Timeout,
+        /** The target blade is fenced by the cluster view (Dead): the
+         *  access was never (re-)issued. Re-resolve placement and
+         *  redirect instead of retrying the same blade. */
+        StaleView,
     };
 
     Kind kind = Kind::None;
@@ -160,15 +167,6 @@ class SmartCtx
 
     // ---- convenience combinations ----
 
-    [[deprecated("use ctx.access(p, AccessOp::read(MemSpan{buf, len}), "
-                 "CachePolicy::Bypass)")]]
-    sim::Task readSync(RemotePtr src, void *local_buf, std::uint32_t len);
-
-    [[deprecated("use ctx.access(p, AccessOp::write(ConstMemSpan{buf, "
-                 "len}), CachePolicy::Bypass)")]]
-    sim::Task writeSync(RemotePtr dst, const void *local_buf,
-                        std::uint32_t len);
-
     /**
      * CAS + sync with §4.3 conflict avoidance: on failure, delays the
      * coroutine by the truncated exponential backoff before returning, so
@@ -180,12 +178,6 @@ class SmartCtx
     sim::Task backoffCasSync(RemotePtr dst, std::uint64_t expect,
                              std::uint64_t desired, std::uint64_t &old_value,
                              bool &success);
-
-    [[deprecated("use ctx.access(p, AccessOp::cas(expect, desired, old, "
-                 "ok))")]]
-    sim::Task casSync(RemotePtr dst, std::uint64_t expect,
-                      std::uint64_t desired, std::uint64_t &old_value,
-                      bool &success);
 
     /** Charge @p d ns of CPU work on this coroutine's thread. */
     sim::Task compute(sim::Time d);
@@ -270,6 +262,14 @@ class SmartCtx
     /** Park until the current round completes (or times out). */
     sim::Task awaitRound();
 
+    /**
+     * Epoch fence + overload admission for one access to @p blade_idx
+     * (no-op without a ClusterView / without watermarks). A fenced blade
+     * is polled cfg.maxViewWaits times with decorrelated-jitter delays;
+     * still fenced -> error_ = StaleView and the caller must not issue.
+     */
+    sim::Task admitAccess(std::uint32_t blade_idx);
+
     /** Verb timeout callback; @p arm_id guards against stale firings. */
     void onSyncTimeout(std::uint64_t arm_id);
 
@@ -304,6 +304,9 @@ class SmartCtx
     /** Landing slot for CAS/FAA accesses (must outlive abandoned
      *  rounds, so it cannot live in a coroutine frame). */
     std::uint64_t casLanding_ = 0;
+    /** Decorrelated-jitter state for fence polls / overload delays
+     *  (reset when the awaited condition clears). */
+    std::uint64_t viewJitterPrev_ = 0;
 
     // ---- span recording (all zero unless a SpanTracer is installed
     //      and the current op is sampled; see sim/span.hpp) ----

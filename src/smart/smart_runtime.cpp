@@ -110,6 +110,11 @@ SmartThread::stageWr(std::uint32_t blade_idx, rnic::WorkReq wr)
     if (staged_.size() <= blade_idx)
         staged_.resize(blade_idx + 1);
     wr.wqeMissCounter = &wqeRefetches;
+    wr.bladeIdx = blade_idx;
+    // Outstanding accounting feeds the degradation ladder: +1 here,
+    // -1 when the CQE dispatches (every staged WR gets exactly one).
+    if (rt_.bladeOutstanding_.size() > blade_idx)
+        ++rt_.bladeOutstanding_[blade_idx];
     StagedQueue &q = staged_[blade_idx];
     if (q.wrs.size() == q.wrs.capacity())
         ++stageBufGrowths_; // warm-up only; steady state must not grow
@@ -137,8 +142,9 @@ SmartThread::kickFlush(std::uint32_t blade_idx)
 sim::Task
 SmartThread::flushLoop(std::uint32_t blade_idx)
 {
-    // staged_ is sized once at connect time, so this reference is stable
-    // across suspension points.
+    // staged_ is a deque (grown at the end on live blade joins, existing
+    // elements never move), so this reference is stable across
+    // suspension points.
     StagedQueue &q = staged_[blade_idx];
     verbs::Qp &qp = rt_.qpFor(id_, blade_idx);
     rnic::Rnic &nic = rt_.rnic();
@@ -148,8 +154,27 @@ SmartThread::flushLoop(std::uint32_t blade_idx)
         // back through the RNIC's pool after the hardware distributes it.
         std::vector<rnic::WorkReq> batch = nic.takeBatchBuffer();
         batch.swap(q.wrs);
+        // Degradation level 2: shed doorbell coalescing to an overloaded
+        // blade by posting in small paced chunks (0 = no cap).
+        std::uint32_t cap = rt_.overloadPostCap(blade_idx);
         if (!rt_.config().workReqThrottle) {
-            co_await qp.postSend(simThread_, std::move(batch));
+            if (cap == 0 || batch.size() <= cap) {
+                co_await qp.postSend(simThread_, std::move(batch));
+                continue;
+            }
+            rt_.noteChunkedPost();
+            std::size_t i = 0;
+            while (i < batch.size()) {
+                std::size_t n =
+                    std::min<std::size_t>(cap, batch.size() - i);
+                std::vector<rnic::WorkReq> chunk = nic.takeBatchBuffer();
+                chunk.assign(std::make_move_iterator(batch.begin() + i),
+                             std::make_move_iterator(batch.begin() + i +
+                                                     n));
+                co_await qp.postSend(simThread_, std::move(chunk));
+                i += n;
+            }
+            nic.recycleBatchBuffer(std::move(batch));
             continue;
         }
         // Credit stalls attribute to the first traced WR's op (the grant
@@ -168,12 +193,17 @@ SmartThread::flushLoop(std::uint32_t blade_idx)
         // buffer may be outstanding; oversized buffers go out in
         // credit-sized chunks (more WRs may accumulate meanwhile and
         // ride along in later chunks).
+        if (cap != 0 && batch.size() > cap)
+            rt_.noteChunkedPost();
         std::size_t i = 0;
         while (i < batch.size()) {
             std::uint32_t granted = 0;
             Time credit_t0 = rt_.sim().now();
-            co_await acquireCredit(
-                static_cast<std::uint32_t>(batch.size() - i), granted);
+            std::uint32_t want =
+                static_cast<std::uint32_t>(batch.size() - i);
+            if (cap != 0)
+                want = std::min(want, cap);
+            co_await acquireCredit(want, granted);
             if (traced != 0)
                 sp->record(sp->trackOf(traced), sim::Stage::CreditWait,
                            traced, credit_t0, rt_.sim().now());
@@ -283,6 +313,12 @@ SmartRuntime::SmartRuntime(sim::Simulator &sim,
     m.registerCounter(this, "app.ops", labels, &appOps);
     m.registerCounter(this, "app.retries", labels, &totalRetries);
     m.registerHistogram(this, "app.op_latency_ns", labels, &opLatency);
+    m.registerCounter(this, "smart.overload.shed_prefetch", labels,
+                      &shedPrefetch_);
+    m.registerCounter(this, "smart.overload.chunked_posts", labels,
+                      &chunkedPosts_);
+    m.registerCounter(this, "smart.overload.op_delays", labels,
+                      &opDelays_);
 }
 
 SmartRuntime::~SmartRuntime()
@@ -302,6 +338,9 @@ SmartRuntime::dispatchCqe(const verbs::Wc &wc, const rnic::WorkReq &wr)
     auto *state = reinterpret_cast<SyncState *>(wc.wrId);
     assert(state != nullptr);
     SmartThread *thr = state->thread;
+    SmartRuntime &rt = thr->runtime();
+    if (wr.bladeIdx < rt.bladeOutstanding_.size())
+        --rt.bladeOutstanding_[wr.bladeIdx];
     if (wc.status == rnic::WcStatus::Success)
         thr->completedWrs.add();
     if (thr->runtime().config().workReqThrottle)
@@ -341,6 +380,12 @@ SmartRuntime::connect(memblade::MemoryBlade &blade)
     bladeRnics_.push_back(&blade.rnic());
     for (auto &thr : threads_)
         thr->staged_.resize(blades_.size());
+    std::uint32_t idx = blades_.size() - 1;
+    bladeOutstanding_.resize(blades_.size(), 0);
+    sim_.metrics().registerGauge(
+        this, "smart.overload.outstanding",
+        {{"blade", name_}, {"target", blade.rnic().name()}},
+        [this, idx] { return static_cast<double>(bladeOutstanding(idx)); });
     rnic::Rnic *target = &blade.rnic();
     std::uint32_t num_threads = threads_.size();
 

@@ -22,6 +22,7 @@
 #include "memblade/memory_blade.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/resource.hpp"
+#include "smart/cluster_view.hpp"
 #include "sim/sim_thread.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -270,7 +271,10 @@ class SmartThread
         std::vector<rnic::WorkReq> wrs;
         bool flushing = false;
     };
-    std::vector<StagedQueue> staged_; // per blade
+    // Per blade. A deque, not a vector: a live blade join grows it
+    // mid-run, and flushLoop holds a reference to its element across
+    // suspension points — deque growth never moves existing elements.
+    std::deque<StagedQueue> staged_;
     std::uint64_t stageBufGrowths_ = 0;
 
     std::int64_t credit_;
@@ -355,6 +359,62 @@ class SmartRuntime
      */
     std::uint64_t cacheTransKey(std::uint32_t tid,
                                 const std::uint8_t *p) const;
+
+    /**
+     * Install the cluster membership view (owned by the MembershipPlane,
+     * shared across runtimes). SmartCtx::access fences against it;
+     * nullptr (the default) keeps every pre-membership code path.
+     */
+    void setClusterView(ClusterView *v) { clusterView_ = v; }
+
+    /** @return the installed membership view, or nullptr. */
+    ClusterView *clusterView() const { return clusterView_; }
+
+    // ---- overload-side graceful degradation (§SmartConfig watermarks).
+    //      Levels: 1 sheds cache prefetch, 2 chunks doorbell batches,
+    //      3 delays user-op admission. All 0 unless watermarks are set.
+
+    /** @return this runtime's WRs currently outstanding to @p blade. */
+    std::int64_t
+    bladeOutstanding(std::uint32_t blade_idx) const
+    {
+        return blade_idx < bladeOutstanding_.size()
+                   ? bladeOutstanding_[blade_idx]
+                   : 0;
+    }
+
+    /** @return degradation level 0..3 for @p blade_idx. */
+    std::uint32_t
+    overloadLevel(std::uint32_t blade_idx) const
+    {
+        if (cfg_.overloadLowWm == 0)
+            return 0;
+        std::int64_t out = bladeOutstanding(blade_idx);
+        if (out >= 2 * static_cast<std::int64_t>(cfg_.overloadHighWm))
+            return 3;
+        if (out >= static_cast<std::int64_t>(cfg_.overloadHighWm))
+            return 2;
+        if (out >= static_cast<std::int64_t>(cfg_.overloadLowWm))
+            return 1;
+        return 0;
+    }
+
+    /** @return doorbell-batch post cap for @p blade_idx (0 = no cap). */
+    std::uint32_t
+    overloadPostCap(std::uint32_t blade_idx) const
+    {
+        return overloadLevel(blade_idx) >= 2 ? cfg_.overloadChunkWrs : 0;
+    }
+
+    /** Degradation bookkeeping (called from the shedding sites). */
+    void noteShedPrefetch() { shedPrefetch_.add(); }
+    void noteChunkedPost() { chunkedPosts_.add(); }
+    void noteOpDelay() { opDelays_.add(); }
+
+    /** Ladder engagement counts (benches, tests). */
+    std::uint64_t shedPrefetchCount() const { return shedPrefetch_.value(); }
+    std::uint64_t chunkedPostCount() const { return chunkedPosts_.value(); }
+    std::uint64_t opDelayCount() const { return opDelays_.value(); }
 
     /** Kick off the adaptive controller coroutines (idempotent). */
     void start();
@@ -443,6 +503,16 @@ class SmartRuntime
     // Compute-side cache tier (null when cfg_.cache is disabled).
     std::unique_ptr<cache::BufferManager> cache_;
     std::uint32_t sharedCacheMrId_ = 0;
+
+    // Membership view (owned by the MembershipPlane; null by default).
+    ClusterView *clusterView_ = nullptr;
+
+    // Per-blade outstanding-WR accounting (degradation ladder inputs):
+    // +1 at stage, -1 at CQE dispatch; grown at connect().
+    std::vector<std::int64_t> bladeOutstanding_;
+    sim::Counter shedPrefetch_;
+    sim::Counter chunkedPosts_;
+    sim::Counter opDelays_;
 
     std::vector<std::unique_ptr<SmartCtx>> workers_;
     bool started_ = false;

@@ -379,3 +379,85 @@ TEST(Cache, CachedRunsAreDeterministicPerSeed)
     // The cached and disabled streams differ (the cache is real).
     EXPECT_NE(events_a, events_c);
 }
+
+TEST(Cache, PinnedFrameHandoffDuringDrain)
+{
+    // A drain re-keys resident frames to the destination blade via
+    // handoffRange. A pinned view must survive the move byte-stable,
+    // and the re-keyed line must serve (hit) accesses addressed to the
+    // destination without a refetch.
+    Testbed tb(cachedConfig(8 * 256));
+    bool done = false;
+    tb.compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
+        std::uint64_t off0 = tb.memBlade(0).alloc(4 * 256, 256);
+        std::uint64_t off1 = tb.memBlade(1).alloc(4 * 256, 256);
+        EXPECT_EQ(off0, off1); // offset-preserving migration contract
+        std::uint64_t magic = 0x1234abcd5678ull;
+        std::memcpy(tb.memBlade(0).bytesAt(off0), &magic, 8);
+        cache::BufferManager *bm = ctx.runtime().cache();
+
+        RemoteRef<std::uint64_t> ref(ctx, ctx.runtime().ptr(0, off0));
+        co_await ref.pin();
+        EXPECT_TRUE(ref.valid());
+        if (!ref.valid())
+            co_return;
+        EXPECT_EQ(ref.load(), magic);
+
+        // The drain's copy step, then the cache handoff.
+        std::memcpy(tb.memBlade(1).bytesAt(off1),
+                    tb.memBlade(0).bytesAt(off0), 4 * 256);
+        std::uint32_t moved = bm->handoffRange(0, 1, off0, 4 * 256);
+        EXPECT_GE(moved, 1u);
+        EXPECT_GE(bm->handoffCount(), 1u);
+
+        // Pin survived the re-key, bytes unchanged.
+        EXPECT_EQ(ref.load(), magic);
+
+        // The frame now fronts blade 1: same-offset access there hits.
+        std::uint64_t hits0 = bm->hitCount();
+        std::uint64_t v = 0;
+        co_await ctx.access(ctx.runtime().ptr(1, off1),
+                            AccessOp::read(MemSpan::of(v)));
+        EXPECT_EQ(v, magic);
+        EXPECT_EQ(bm->hitCount(), hits0 + 1);
+        ref.unpin();
+        done = true;
+    });
+    tb.sim().runUntil(sim::msec(10));
+    EXPECT_TRUE(done);
+}
+
+TEST(Cache, DirtyLineHandoffWritesBackToDestination)
+{
+    // A line dirtied before the drain must write its (newer) bytes back
+    // to the destination blade after the handoff, never to the source.
+    Testbed tb(cachedConfig(8 * 256));
+    bool done = false;
+    tb.compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
+        std::uint64_t off0 = tb.memBlade(0).alloc(256, 256);
+        std::uint64_t off1 = tb.memBlade(1).alloc(256, 256);
+        EXPECT_EQ(off0, off1);
+        std::memset(tb.memBlade(0).bytesAt(off0), 0, 256);
+        std::memset(tb.memBlade(1).bytesAt(off1), 0, 256);
+        cache::BufferManager *bm = ctx.runtime().cache();
+
+        std::uint64_t v = 0;
+        RemotePtr p0 = ctx.runtime().ptr(0, off0);
+        co_await ctx.access(p0, AccessOp::read(MemSpan::of(v)));
+        std::uint64_t nv = 4321;
+        co_await ctx.access(p0, AccessOp::write(ConstMemSpan::of(nv)),
+                            CachePolicy::Cached);
+
+        bm->handoffRange(0, 1, off0, 256);
+
+        co_await ctx.cacheFlush();
+        std::uint64_t src_host = ~0ull, dst_host = 0;
+        std::memcpy(&src_host, tb.memBlade(0).bytesAt(off0), 8);
+        std::memcpy(&dst_host, tb.memBlade(1).bytesAt(off1), 8);
+        EXPECT_EQ(src_host, 0u);    // source never re-written
+        EXPECT_EQ(dst_host, 4321u); // write-back followed the handoff
+        done = true;
+    });
+    tb.sim().runUntil(sim::msec(10));
+    EXPECT_TRUE(done);
+}

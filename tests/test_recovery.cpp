@@ -218,3 +218,55 @@ TEST(Recovery, IncompleteLogIsDiscarded)
     EXPECT_EQ(rig.sys->recover(), 0u);
     EXPECT_EQ(recordBalance(*rig.bank->checking().hostRecord(5)), before);
 }
+
+TEST(Recovery, FencedViewAbandonsInFlightDoorbellBatch)
+{
+    // A doorbell batch staged against a blade that dies before its
+    // completions return must abandon through the cluster-view fence
+    // (typed StaleView) instead of burning the whole per-verb retry
+    // budget against a corpse.
+    TestbedConfig cfg;
+    cfg.computeBlades = 1;
+    cfg.memoryBlades = 2;
+    cfg.threadsPerBlade = 1;
+    cfg.bladeBytes = 1 << 20;
+    cfg.smart = presets::full();
+    Testbed tb(cfg);
+    // WR tracking (and with it the sync() fence) is armed only when a
+    // fault plane exists — as it does in any run with membership events.
+    tb.faultPlane();
+    ClusterView view(tb.sim(), "fence0");
+    view.set(0, BladeState::Active);
+    view.set(1, BladeState::Active);
+    tb.compute(0).setClusterView(&view);
+
+    std::uint64_t off = tb.memBlade(1).alloc(4 * 64, 64);
+    bool done = false;
+    VerbError::Kind seen = VerbError::Kind::None;
+    sim::Time t_start = 0, t_err = 0;
+    tb.compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
+        std::uint8_t *buf = ctx.scratch(256);
+        // Stage a 4-WR batch, then fence the target before completions
+        // can arrive: the blade crashes and the view marks it Dead.
+        for (int i = 0; i < 4; ++i)
+            ctx.read(ctx.runtime().ptr(1, off + i * 64),
+                     MemSpan{buf + i * 64, 64});
+        tb.memBlade(1).crash(0); // never restarts
+        view.set(1, BladeState::Dead);
+        t_start = ctx.sim().now();
+        co_await ctx.postSend();
+        co_await ctx.sync();
+        EXPECT_TRUE(ctx.failed());
+        seen = ctx.lastError().kind;
+        t_err = ctx.sim().now();
+        ctx.clearError();
+        done = true;
+    });
+    tb.sim().runUntil(sim::msec(50));
+    EXPECT_TRUE(done);
+    EXPECT_EQ(seen, VerbError::Kind::StaleView);
+    EXPECT_GE(view.fencedCount(), 1u);
+    // Prompt abandon: well under the full retry budget (8 retries x
+    // 1 ms verb timeout plus backoff).
+    EXPECT_LT(t_err - t_start, sim::msec(4));
+}

@@ -300,12 +300,10 @@ TEST(SmartCtxOps, CasAccessReportsSuccessAndOldValue)
     EXPECT_EQ(phase, 2);
 }
 
-TEST(SmartCtxOps, DeprecatedSyncShimsStillWork)
+TEST(SmartCtxOps, BypassAccessRoundTrip)
 {
-    // The *Sync verbs are deprecated shims over access() for one PR;
-    // keep them covered until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    // The Bypass access forms the removed *Sync shims lowered to: every
+    // access goes straight to the wire, no cache interaction.
     Testbed tb(smallTestbed(presets::full()));
     bool done = false;
     tb.compute(0).spawnWorker(0, [&](SmartCtx &ctx) -> Task {
@@ -314,20 +312,21 @@ TEST(SmartCtxOps, DeprecatedSyncShimsStillWork)
         std::memcpy(tb.memBlade(0).bytesAt(off), &seed, 8);
         RemotePtr p = ctx.runtime().ptr(0, off);
         char out[16] = "legacy";
-        co_await ctx.writeSync(p + 16, out, 8);
+        co_await ctx.access(p + 16, AccessOp::write(ConstMemSpan{out, 8}),
+                            CachePolicy::Bypass);
         char in[16] = {};
-        co_await ctx.readSync(p + 16, in, 8);
+        co_await ctx.access(p + 16, AccessOp::read(MemSpan{in, 8}),
+                            CachePolicy::Bypass);
         EXPECT_EQ(std::memcmp(in, out, 8), 0);
         std::uint64_t old = 0;
         bool ok = false;
-        co_await ctx.casSync(p, 5, 6, old, ok);
+        co_await ctx.access(p, AccessOp::cas(5, 6, old, ok));
         EXPECT_TRUE(ok);
         EXPECT_EQ(old, 5u);
         done = true;
     });
     tb.sim().runUntil(sim::msec(10));
     EXPECT_TRUE(done);
-#pragma GCC diagnostic pop
 }
 
 TEST(SmartCtxOps, FaaAccumulates)

@@ -79,6 +79,9 @@ def validate(report):
                 labels = m.get("labels", {})
                 check("blade" in labels and "policy" in labels,
                       f"{m['name']} must carry blade + policy labels")
+            if m["name"].startswith("smart.tenant."):
+                check("tenant" in m.get("labels", {}),
+                      f"{m['name']} must carry a tenant label")
         if {"smart.thread.doorbell_wait_ns",
                 "smart.thread.wqe_refetches"} <= names:
             saw_thread_metrics = True
@@ -114,6 +117,8 @@ def validate(report):
         validate_cache_crossover(report)
     if report["bench"] == "elasticity":
         validate_elasticity(report)
+    if report["bench"] == "open_loop":
+        validate_open_loop(report)
     print(f"check_bench_json: OK: {report['bench']} "
           f"({len(report['tables'])} tables, {len(report['runs'])} runs)")
 
@@ -292,6 +297,87 @@ def validate_elasticity(report):
           f"elasticity surfaced {row[cols['failed_ops']]} failed ops")
     ratio = float(row[cols["post_over_pre"]])
     check(ratio >= 0.9, f"elasticity post/pre ratio {ratio} < 0.9")
+
+
+def validate_open_loop(report):
+    """Knee curves must be well-formed: a monotone offered-load axis,
+    p99 non-decreasing (5% tolerance) up to the knee, ordered
+    percentiles, and a per-tenant SLO block with violation fractions
+    in [0, 1]."""
+    tables = {t["name"]: t for t in report["tables"]}
+
+    for app in ("ht", "bt"):
+        sweep = tables.get(f"open_loop_{app}")
+        check(sweep is not None,
+              f"open_loop report missing open_loop_{app} table")
+        cols = {name: i for i, name in enumerate(sweep["header"])}
+        for col in ("offered_x", "offered_mops", "completed_mops",
+                    "p50_ns", "p99_ns", "p999_ns", "rejected"):
+            check(col in cols, f"open_loop_{app} missing column {col!r}")
+        rows = sweep["rows"]
+        check(len(rows) >= 3, f"open_loop_{app} has {len(rows)} points "
+              "(want >= 3 for a curve)")
+
+        xs = [float(r[cols["offered_x"]]) for r in rows]
+        check(all(b > a for a, b in zip(xs, xs[1:])),
+              f"open_loop_{app}: offered-load axis not "
+              f"strictly increasing: {xs}")
+        for r in rows:
+            p50 = int(r[cols["p50_ns"]])
+            p99 = int(r[cols["p99_ns"]])
+            p999 = int(r[cols["p999_ns"]])
+            check(0 < p50 <= p99 <= p999,
+                  f"open_loop_{app} @ {r[cols['offered_x']]}x: "
+                  f"percentiles not ordered: {p50}/{p99}/{p999}")
+
+        p99s = [int(r[cols["p99_ns"]]) for r in rows]
+        knee = len(p99s) - 1
+        for i, v in enumerate(p99s):
+            if v > 3 * p99s[0]:
+                knee = i
+                break
+        for i in range(1, knee + 1):
+            check(p99s[i] >= 0.95 * p99s[i - 1],
+                  f"open_loop_{app}: p99 dips below the knee at "
+                  f"{xs[i]}x ({p99s[i]} < {p99s[i - 1]})")
+
+    kt = tables.get("open_loop_knee")
+    check(kt is not None, "open_loop report missing open_loop_knee table")
+    cols = {name: i for i, name in enumerate(kt["header"])}
+    for col in ("app", "capacity_mops", "knee_x", "overload_x"):
+        check(col in cols, f"open_loop_knee missing column {col!r}")
+    apps = {row[cols["app"]] for row in kt["rows"]}
+    check(apps == {"ht", "bt"},
+          f"open_loop_knee must cover ht + bt, got {sorted(apps)}")
+    for row in kt["rows"]:
+        check(float(row[cols["capacity_mops"]]) > 0,
+              f"open_loop_knee {row[cols['app']]}: zero capacity")
+        check(float(row[cols["knee_x"]]) > 0,
+              f"open_loop_knee {row[cols['app']]}: no knee found")
+
+    slo = report.get("slo")
+    check(isinstance(slo, dict) and slo,
+          "open_loop report missing the top-level slo block")
+    for point, tenants in slo.items():
+        check(isinstance(tenants, dict) and tenants,
+              f"slo[{point!r}] must be a non-empty object")
+        for tenant, block in tenants.items():
+            for key in ("target_p99_ns", "violation_fraction",
+                        "offered", "completed"):
+                check(key in block,
+                      f"slo[{point!r}][{tenant!r}] missing {key!r}")
+            vf = block["violation_fraction"]
+            check(isinstance(vf, (int, float)) and 0.0 <= vf <= 1.0,
+                  f"slo[{point!r}][{tenant!r}]: violation_fraction "
+                  f"{vf!r} not in [0, 1]")
+
+    saw_tenant_metrics = False
+    for run in report["runs"]:
+        names = {m["name"] for m in run.get("metrics", [])}
+        if {"smart.tenant.offered", "smart.tenant.latency_ns"} <= names:
+            saw_tenant_metrics = True
+    check(saw_tenant_metrics,
+          "no run carries smart.tenant.offered + smart.tenant.latency_ns")
 
 
 def validate_cache_crossover(report):

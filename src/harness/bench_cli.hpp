@@ -117,6 +117,9 @@ class BenchCli
     /** Print @p text and record it in the report's notes. */
     void note(const std::string &text);
 
+    /** Install the per-tenant SLO block on the report (open-loop). */
+    void setSlo(sim::Json slo) { reporter_->setSlo(std::move(slo)); }
+
     /**
      * Flush the JSON report (when requested).
      * @return process exit code (0, or 1 on report I/O failure)

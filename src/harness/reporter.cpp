@@ -65,6 +65,8 @@ Reporter::toJson() const
     for (const std::string &n : notes_)
         notes.push(Json(n));
     root.set("notes", std::move(notes));
+    if (slo_.isObject())
+        root.set("slo", slo_);
     Json perf = Json::object();
     perf.set("wall_ms", Json(perf_.wallMs));
     perf.set("events_processed", Json(perf_.eventsProcessed));

@@ -47,6 +47,13 @@ class Reporter
     /** Install the wall-clock perf block (BenchCli fills this). */
     void setPerf(const PerfBlock &p) { perf_ = p; }
 
+    /**
+     * Install the per-tenant SLO block (open-loop benches fill this):
+     * emitted as the top-level "slo" key when set. Expected shape:
+     * {"<tenant>": {"target_p99_ns", "violation_fraction", ...}, ...}.
+     */
+    void setSlo(sim::Json slo) { slo_ = std::move(slo); }
+
     /** Record a result table under @p name (also the CSV base name). */
     void addTable(const std::string &name, const sim::Table &t);
 
@@ -72,6 +79,7 @@ class Reporter
     std::vector<sim::Json> runs_;
     std::vector<std::string> notes_;
     PerfBlock perf_;
+    sim::Json slo_;
 };
 
 } // namespace smart::harness

@@ -35,6 +35,7 @@ stageName(Stage s)
       case Stage::RetryRound: return "retry_round";
       case Stage::Cpu: return "cpu";
       case Stage::Cache: return "cache";
+      case Stage::AdmissionWait: return "admission_wait";
       case Stage::Unattributed: return "unattributed";
     }
     return "?";
@@ -126,15 +127,17 @@ namespace {
 
 /**
  * Stages recorded *about* a coroutine by another actor (the flusher's
- * credit wait, the QP's doorbell arbitration) run concurrently with the
- * coroutine's own timeline — they can overlap its poll spans. Like
- * device spans they are breakdown-only: excluded from self-time
- * subtraction and from the coverage sum, and drawn as async pairs.
+ * credit wait, the QP's doorbell arbitration, the open-loop driver's
+ * admission wait) run concurrently with — or, for admission wait,
+ * entirely before — the coroutine's own timeline. Like device spans they
+ * are breakdown-only: excluded from self-time subtraction and from the
+ * coverage sum, and drawn as async pairs.
  */
 bool
 asyncStage(Stage s)
 {
-    return s == Stage::CreditWait || s == Stage::DoorbellWait;
+    return s == Stage::CreditWait || s == Stage::DoorbellWait ||
+           s == Stage::AdmissionWait;
 }
 
 /** Same-track direct-child duration sums (self-time computation). */

@@ -71,6 +71,7 @@ enum class Stage : std::uint8_t
     RetryRound,   ///< one failure-retry round (re-stage + re-post + wait)
     Cpu,          ///< explicit application compute() time
     Cache,        ///< compute-side cache tier service (hit copy-out)
+    AdmissionWait, ///< open-loop admission-queue wait (arrival -> dispatch)
     Unattributed, ///< synthetic: op self time not covered by any child
 };
 

@@ -20,7 +20,18 @@ class Counter
   public:
     void add(std::uint64_t v = 1) { value_ += v; }
     std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+
+    /**
+     * Zero the counter *and* the delta snapshot: a delta() sampled across
+     * a reset must report the post-reset growth, not wrap on
+     * 0 - lastSnapshot_.
+     */
+    void
+    reset()
+    {
+        value_ = 0;
+        lastSnapshot_ = 0;
+    }
 
     /** @return value delta since the last call to delta(). */
     std::uint64_t
@@ -80,7 +91,11 @@ class LatencyHistogram
 
     /**
      * @param p percentile in [0, 100]
-     * @return approximate value at percentile @p p (0 if empty).
+     * @return approximate value at percentile @p p (0 if empty). The
+     *         result is clamped to [min(), max()]: a bucket midpoint can
+     *         exceed the largest recorded sample (top bucket) or undercut
+     *         the smallest (low percentiles), and reports must never
+     *         quote a p999 above the observed maximum.
      */
     std::uint64_t
     percentile(double p) const
@@ -93,7 +108,7 @@ class LatencyHistogram
         for (int b = 0; b < kBuckets; ++b) {
             seen += counts_[b];
             if (seen >= rank)
-                return bucketMid(b);
+                return std::clamp(bucketMid(b), min_, max_);
         }
         return max_;
     }

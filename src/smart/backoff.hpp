@@ -16,9 +16,24 @@
 
 namespace smart {
 
+namespace detail {
+
+/** a + b, saturating at UINT64_MAX instead of wrapping. */
+inline std::uint64_t
+satAddU64(std::uint64_t a, std::uint64_t b)
+{
+    return a > ~b ? ~std::uint64_t{0} : a + b;
+}
+
+} // namespace detail
+
 /**
  * Backoff delay for the @p attempt-th consecutive failed retry:
  *   t = min(t0 * 2^attempt, t_max) + Rand(t0)      (cycles)
+ *
+ * All arithmetic saturates: a large configured t0 must truncate at t_max
+ * instead of wrapping `t0 << shift` around and collapsing the backoff to
+ * a near-zero delay.
  *
  * @param t0_cycles the backoff unit (≈ one RDMA round-trip)
  * @param tmax_cycles current truncation limit
@@ -29,8 +44,11 @@ backoffCycles(std::uint64_t t0_cycles, std::uint64_t tmax_cycles,
               std::uint32_t attempt, sim::Rng &rng)
 {
     std::uint32_t shift = std::min<std::uint32_t>(attempt, 32);
-    std::uint64_t t = std::min(t0_cycles << shift, tmax_cycles);
-    return t + rng.uniform(t0_cycles);
+    // t0 << shift only when it cannot wrap past tmax; else saturate there.
+    std::uint64_t t = t0_cycles <= (tmax_cycles >> shift)
+                          ? t0_cycles << shift
+                          : tmax_cycles;
+    return detail::satAddU64(t, rng.uniform(t0_cycles));
 }
 
 /**
@@ -51,7 +69,11 @@ decorrelatedJitterCycles(std::uint64_t t0_cycles, std::uint64_t tmax_cycles,
                          std::uint64_t &prev_cycles, sim::Rng &rng)
 {
     std::uint64_t prev = std::max(prev_cycles, t0_cycles);
-    std::uint64_t hi = std::min(prev * 3, tmax_cycles);
+    // prev * 3 saturates at tmax: a wrap would collapse hi below t0 and
+    // freeze the jitter at its floor forever.
+    std::uint64_t hi = prev > tmax_cycles / 3
+                           ? tmax_cycles
+                           : std::min(prev * 3, tmax_cycles);
     std::uint64_t t = hi <= t0_cycles
                           ? t0_cycles
                           : t0_cycles + rng.uniform(hi - t0_cycles + 1);

@@ -52,11 +52,28 @@ struct YcsbMix
         return {0.0, 1.0, 0.0};
     }
 
+    /** 50% inserts / 50% lookups (YCSB-D-style ingest). */
+    static YcsbMix
+    insertHeavy()
+    {
+        return {0.5, 0.0, 0.5};
+    }
+
+    /**
+     * Stable mix label used in reports. Insert-bearing mixes get their
+     * own names: a {0.5, 0, 0.5} ingest mix must not masquerade as
+     * "read-heavy" just because its update fraction is zero.
+     */
     const char *
     name() const
     {
         if (update == 0.0 && insert == 0.0)
             return "read-only";
+        if (insert > 0.0) {
+            if (lookup == 0.0 && update == 0.0)
+                return "insert-only";
+            return insert >= 0.25 ? "insert-heavy" : "insert-mixed";
+        }
         if (update >= 0.5)
             return update >= 1.0 ? "update-only" : "write-heavy";
         return "read-heavy";

@@ -193,6 +193,50 @@ TEST(LatencyHistogram, HugeValuesSaturateIntoTopBucket)
     EXPECT_GE(h.percentile(50), H::bucketLo(H::kBuckets - 1));
 }
 
+TEST(Counter, ResetAlsoResetsDeltaSnapshot)
+{
+    // Regression: reset() used to zero value_ but keep lastSnapshot_, so
+    // the next delta() computed 0 - lastSnapshot_ and wrapped to a huge
+    // uint64 — corrupting every windowed rate sampled across a reset.
+    sim::Counter c;
+    c.add(100);
+    EXPECT_EQ(c.delta(), 100u);
+    c.add(50);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.delta(), 0u);
+    c.add(7);
+    EXPECT_EQ(c.delta(), 7u);
+}
+
+TEST(LatencyHistogram, PercentileClampedToObservedRange)
+{
+    // Regression: percentile() used to return the raw bucket midpoint,
+    // which can exceed max() (top of a wide bucket) or undercut min().
+    using H = sim::LatencyHistogram;
+
+    // Single sample in a wide bucket: every percentile is that sample.
+    H one;
+    std::uint64_t v = (1ull << 20) + 1; // wide octave, mid != sample
+    one.record(v);
+    EXPECT_EQ(one.percentile(0), v);
+    EXPECT_EQ(one.percentile(50), v);
+    EXPECT_EQ(one.percentile(100), v);
+
+    // Two samples: p0 must not undercut min, p100 must not exceed max.
+    H two;
+    // lo above its bucket midpoint (mid 66048) so the clamp floor engages.
+    std::uint64_t lo = (1ull << 16) + 600;
+    std::uint64_t hi = (1ull << 30) + 5;
+    two.record(lo);
+    two.record(hi);
+    EXPECT_EQ(two.percentile(0), lo);
+    EXPECT_GE(two.percentile(50), lo);
+    EXPECT_LE(two.percentile(50), hi);
+    EXPECT_EQ(two.percentile(100), hi);
+    EXPECT_LE(two.p999(), two.max());
+}
+
 // --------------------------------------------- testbed + tracer timelines
 
 namespace {

@@ -56,6 +56,45 @@ TEST(Backoff, HugeAttemptDoesNotOverflow)
     EXPECT_GE(t, 4096ull << 10);
 }
 
+TEST(Backoff, ExtremeCycleValuesSaturateInsteadOfWrapping)
+{
+    // Regression: t0 << shift wrapped for t0 >= 2^32 at the shift clamp
+    // (32), collapsing the backoff to a near-zero delay exactly when the
+    // configured unit was largest.
+    sim::Rng rng(4);
+    std::uint64_t t0 = 1ull << 40;
+    std::uint64_t tmax = 1ull << 50;
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t t = backoffCycles(t0, tmax, 32, rng);
+        EXPECT_GE(t, tmax);
+        EXPECT_LT(t, tmax + t0);
+    }
+    // t + rand(t0) must saturate, not wrap past UINT64_MAX.
+    std::uint64_t huge = ~std::uint64_t{0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_GE(backoffCycles(huge, huge, 5, rng), huge - 1);
+}
+
+TEST(Backoff, DecorrelatedJitterSaturatesAtExtremes)
+{
+    // Regression: prev * 3 wrapped for prev > UINT64_MAX / 3, collapsing
+    // the draw interval and freezing the jitter at its floor.
+    sim::Rng rng(5);
+    std::uint64_t tmax = ~std::uint64_t{0};
+    std::uint64_t prev = tmax / 2; // prev * 3 would wrap
+    std::uint64_t t = decorrelatedJitterCycles(4096, tmax, prev, rng);
+    EXPECT_GE(t, 4096u);
+    EXPECT_EQ(prev, t);
+    // Bounded tmax: draws stay within [t0, tmax] even from a huge prev.
+    std::uint64_t cap = 1ull << 30;
+    prev = ~std::uint64_t{0} / 2;
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t d = decorrelatedJitterCycles(4096, cap, prev, rng);
+        EXPECT_GE(d, 4096u);
+        EXPECT_LE(d, cap);
+    }
+}
+
 TEST(ConflictController, HighGammaShrinksCmaxThenGrowsTmax)
 {
     ConflictController c(4096, 1024, 8, 0.5, 0.1);

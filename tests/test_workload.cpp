@@ -67,6 +67,19 @@ TEST(YcsbMixNames, DescribeThemselves)
     EXPECT_STREQ(YcsbMix::updateOnly().name(), "update-only");
 }
 
+TEST(YcsbMixNames, InsertMixesAreNotReadHeavy)
+{
+    // Regression: name() ignored the insert fraction, so a YCSB-D-style
+    // {0.5, 0, 0.5} ingest mix was labeled "read-heavy" in every report.
+    EXPECT_STREQ(YcsbMix::insertHeavy().name(), "insert-heavy");
+    YcsbMix ingest{0.5, 0.0, 0.5};
+    EXPECT_STREQ(ingest.name(), "insert-heavy");
+    YcsbMix insertOnly{0.0, 0.0, 1.0};
+    EXPECT_STREQ(insertOnly.name(), "insert-only");
+    YcsbMix lightIngest{0.9, 0.05, 0.05};
+    EXPECT_STREQ(lightIngest.name(), "insert-mixed");
+}
+
 TEST(YcsbGenerator, DeterministicPerSeed)
 {
     double zetan = sim::ZipfianGenerator::zeta(1000, 0.99);

@@ -50,6 +50,7 @@ run(double theta, bool cached, std::uint64_t keys, bool quick,
         cfg.smart.withCacheMb(quick ? 8 : 32);
         g_cli->configureCache(cfg.smart);
     }
+    g_cli->configureShards(cfg);
 
     HtBenchParams p;
     p.numKeys = keys;

@@ -48,6 +48,7 @@ main(int argc, char **argv)
                 cfg.smart = presets::baseline() // §3: no SMART features
                                 .withQpPolicy(policy)
                                 .withCoros(1);
+                cli.configureShards(cfg);
 
                 RdmaBenchParams params;
                 params.op = op;

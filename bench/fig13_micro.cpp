@@ -19,7 +19,8 @@ using namespace smart::harness;
 
 namespace {
 
-std::uint64_t g_seed = 0; // from BenchCli --seed
+std::uint64_t g_seed = 0;   // from BenchCli --seed
+std::uint32_t g_shards = 1; // from BenchCli --shards
 
 struct Policy
 {
@@ -53,6 +54,7 @@ run(const SmartConfig &smart, std::uint32_t threads, std::uint32_t batch,
     cfg.threadsPerBlade = threads;
     cfg.smart = smart;
     cfg.smart.corosPerThread = 1;
+    cfg.shards = g_shards;
 
     RdmaBenchParams params;
     params.depth = batch;
@@ -69,6 +71,7 @@ main(int argc, char **argv)
 {
     BenchCli cli(argc, argv, "fig13_micro");
     g_seed = cli.seed();
+    g_shards = cli.shards();
     bool quick = cli.quick();
     std::vector<Policy> pols = policies();
 

@@ -93,7 +93,8 @@ run(bool throttle, Time interval, Time window, std::uint64_t seed,
             return dynWorker(ctx, shared, 64, seed);
         });
     }
-    tb.sim().spawn(controller(tb.sim(), shared, interval, seed));
+    tb.compute(0).sim().spawn(
+        controller(tb.compute(0).sim(), shared, interval, seed));
 
     Time warmup = sim::msec(8);
     tb.sim().runUntil(warmup);

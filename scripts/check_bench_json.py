@@ -111,6 +111,8 @@ def validate(report):
               "no run carries per-thread doorbell_wait_ns + wqe_refetches")
         check(saw_ctrl_timeline,
               "no run has a C_max + t_max timeline with >= 5 samples")
+    if report["bench"] == "kernel_stress":
+        validate_kernel_stress(report)
     if report["bench"] == "fault_storm":
         validate_fault_storm(report)
     if report["bench"] == "cache_crossover":
@@ -169,7 +171,8 @@ def validate_perf(report):
     perf = report.get("perf")
     check(isinstance(perf, dict), "missing or malformed perf block")
     for key in ("wall_ms", "events_processed", "events_per_sec",
-                "peak_queue_depth"):
+                "peak_queue_depth", "ring_inserts", "heap_inserts",
+                "host_cores"):
         check(key in perf, f"perf block missing {key!r}")
         check(isinstance(perf[key], (int, float)),
               f"perf.{key} must be numeric, got {perf[key]!r}")
@@ -180,6 +183,61 @@ def validate_perf(report):
           f"perf.events_per_sec {perf['events_per_sec']} must be > 0")
     check(perf["peak_queue_depth"] >= 1,
           f"perf.peak_queue_depth {perf['peak_queue_depth']} must be >= 1")
+    check(perf["host_cores"] >= 1,
+          f"perf.host_cores {perf['host_cores']} must be >= 1")
+
+    # Per-shard breakdown: events/inserts sum to the process totals,
+    # peak depth is the max over shard peaks (never a sum).
+    shards = perf.get("shards")
+    check(isinstance(shards, list) and shards,
+          "perf.shards must be a non-empty list")
+    ev_sum = 0
+    peak_max = 0
+    seen = set()
+    for row in shards:
+        check(isinstance(row, dict), f"perf.shards entry malformed: {row!r}")
+        for key in ("shard", "events_processed", "peak_queue_depth"):
+            check(key in row, f"perf.shards entry missing {key!r}: {row!r}")
+        check(row["shard"] not in seen,
+              f"perf.shards has duplicate shard index {row['shard']}")
+        seen.add(row["shard"])
+        ev_sum += row["events_processed"]
+        peak_max = max(peak_max, row["peak_queue_depth"])
+    check(ev_sum == perf["events_processed"],
+          f"perf.shards events sum {ev_sum} != "
+          f"perf.events_processed {perf['events_processed']}")
+    check(peak_max == perf["peak_queue_depth"],
+          f"max perf.shards peak {peak_max} != "
+          f"perf.peak_queue_depth {perf['peak_queue_depth']}")
+
+
+def validate_kernel_stress(report):
+    """The shard-scaling sweep must be present and deterministic: every
+    shard count replays the single-shard simulation exactly (identical
+    event and wire-delivery totals). Wall-clock speedup is gated
+    separately by compare_bench.py --shard-scaling, and only on hosts
+    with enough cores to demonstrate it."""
+    tables = {t["name"]: t for t in report["tables"]}
+    ss = tables.get("kernel_stress_shard_scaling")
+    check(ss is not None,
+          "kernel_stress report missing shard_scaling table")
+    cols = {name: i for i, name in enumerate(ss["header"])}
+    for col in ("shards", "events", "delivered", "wall_ms",
+                "events_per_sec", "speedup_vs_1"):
+        check(col in cols, f"shard_scaling missing column {col!r}")
+    counts = [int(row[cols["shards"]]) for row in ss["rows"]]
+    check(counts == [1, 2, 4, 8],
+          f"shard_scaling rows must sweep 1/2/4/8 shards, got {counts}")
+    events = {int(row[cols["events"]]) for row in ss["rows"]}
+    delivered = {int(row[cols["delivered"]]) for row in ss["rows"]}
+    check(len(events) == 1,
+          f"shard_scaling event totals differ across shard counts: "
+          f"{sorted(events)} (sharding changed the simulation)")
+    check(len(delivered) == 1,
+          f"shard_scaling delivery totals differ across shard counts: "
+          f"{sorted(delivered)}")
+    check(events.pop() > 0, "shard_scaling processed no events")
+    check(delivered.pop() > 0, "shard_scaling delivered no wire messages")
 
 
 def validate_fault_storm(report):

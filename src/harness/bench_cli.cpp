@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "sim/event_queue.hpp"
 
@@ -26,7 +27,8 @@ usage(const std::string &bench, int exit_code)
     os << "usage: " << bench
        << " [--quick] [--json PATH] [--out-dir DIR] [--seed N] "
           "[--trace] [--trace-spans[=N]] [--flame PATH] [--perf]\n"
-          "  [--cache-mb N] [--cache-policy clock|fifo] [--no-cache]\n"
+          "  [--cache-mb N] [--cache-policy clock|fifo] [--no-cache] "
+          "[--shards N]\n"
           "  --quick        reduced sweep for CI / smoke runs\n"
           "  --json PATH    write a smart-bench-report/v1 JSON report\n"
           "  --out-dir DIR  directory for CSV/JSON outputs (default .)\n"
@@ -44,7 +46,9 @@ usage(const std::string &bench, int exit_code)
           "  --cache-mb N   enable the compute-side cache tier with an "
           "N MiB frame pool\n"
           "  --cache-policy P  cache eviction policy: clock or fifo\n"
-          "  --no-cache     force the cache tier off\n";
+          "  --no-cache     force the cache tier off\n"
+          "  --shards N     run the simulation on N parallel shards "
+          "(clamped to the blade count; byte-identical output at any N)\n";
     std::exit(exit_code);
 }
 
@@ -118,6 +122,13 @@ BenchCli::BenchCli(int argc, char **argv, std::string bench_name)
             cachePolicySet_ = true;
         } else if (arg == "--no-cache") {
             noCache_ = true;
+        } else if (arg == "--shards") {
+            shards_ = static_cast<std::uint32_t>(
+                std::strtoul(value(i, "--shards").c_str(), nullptr, 0));
+            if (shards_ == 0) {
+                std::cerr << benchName_ << ": --shards N needs N >= 1\n";
+                usage(benchName_, 2);
+            }
         } else if (arg == "--perf") {
             perf_ = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -185,9 +196,15 @@ BenchCli::measurePerf() const
     std::chrono::duration<double, std::milli> wall =
         std::chrono::steady_clock::now() - startWall_;
     p.wallMs = wall.count();
-    const sim::KernelPerf &kp = sim::processKernelPerf();
+    sim::KernelPerf kp = sim::collectKernelPerf();
     p.eventsProcessed = kp.eventsProcessed;
     p.peakQueueDepth = kp.peakQueueDepth;
+    p.ringInserts = kp.ringInserts;
+    p.heapInserts = kp.heapInserts;
+    p.hostCores = std::thread::hardware_concurrency();
+    p.shards.reserve(kp.shards.size());
+    for (const sim::KernelPerf::Shard &s : kp.shards)
+        p.shards.push_back({s.shard, s.eventsProcessed, s.peakQueueDepth});
     double wall_s = std::max(p.wallMs, 1e-3) / 1000.0;
     p.eventsPerSec = static_cast<double>(p.eventsProcessed) / wall_s;
     return p;
@@ -198,15 +215,16 @@ BenchCli::finish()
 {
     PerfBlock perf = measurePerf();
     if (perf_) {
-        const sim::KernelPerf &kp = sim::processKernelPerf();
         std::printf("perf: %.1f ms wall, %llu events, %.3g events/s, "
-                    "peak queue depth %llu, inserts %llu ring / %llu heap\n",
+                    "peak queue depth %llu, inserts %llu ring / %llu heap, "
+                    "%zu shard(s)\n",
                     perf.wallMs,
                     static_cast<unsigned long long>(perf.eventsProcessed),
                     perf.eventsPerSec,
                     static_cast<unsigned long long>(perf.peakQueueDepth),
-                    static_cast<unsigned long long>(kp.ringInserts),
-                    static_cast<unsigned long long>(kp.heapInserts));
+                    static_cast<unsigned long long>(perf.ringInserts),
+                    static_cast<unsigned long long>(perf.heapInserts),
+                    perf.shards.size());
     }
     if (!capturing())
         return 0;

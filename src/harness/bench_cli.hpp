@@ -20,6 +20,9 @@
  *                  frame pool per runtime
  *   --cache-policy P  cache eviction policy: clock (default) or fifo
  *   --no-cache     force the cache tier off (overrides bench defaults)
+ *   --shards N     run the simulation on N parallel shards (blades are
+ *                  round-robined over shards; clamped to the blade
+ *                  count; output is byte-identical at any N)
  */
 
 #ifndef SMART_HARNESS_BENCH_CLI_HPP
@@ -78,6 +81,12 @@ class BenchCli
         cfg.spanSampleEvery = spanSampleEvery_;
     }
 
+    /** Shard count from --shards (default 1). */
+    std::uint32_t shards() const { return shards_; }
+
+    /** Apply --shards to a testbed config (call before building). */
+    void configureShards(TestbedConfig &cfg) const { cfg.shards = shards_; }
+
     /**
      * Apply the cache flags onto @p cfg. Bench defaults survive unless a
      * flag was given: --no-cache wins over everything, --cache-mb sets
@@ -134,6 +143,7 @@ class BenchCli
     bool perf_ = false;
     std::uint64_t seed_ = 0;
     std::uint32_t spanSampleEvery_ = 0;
+    std::uint32_t shards_ = 1;
     bool noCache_ = false;
     int cacheMb_ = -1;
     bool cachePolicySet_ = false;

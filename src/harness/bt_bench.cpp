@@ -57,6 +57,7 @@ runBtBench(const BtBenchParams &params, RunCapture *capture)
                                                      : presets::baseline();
     cfg.smart.corosPerThread = params.corosPerThread;
     cfg.smart.withBenchTimescale();
+    cfg.shards = params.shards;
     if (capture != nullptr) {
         cfg.traceSampleNs = sim::usec(500);
         cfg.spanSampleEvery = params.spanSampleEvery;
@@ -93,7 +94,7 @@ runBtBench(const BtBenchParams &params, RunCapture *capture)
         }
     }
 
-    tb.sim().runUntil(params.warmupNs);
+    tb.runUntil(params.warmupNs);
     std::uint64_t ops0 = 0;
     std::uint64_t wrs0 = 0;
     for (std::uint32_t c = 0; c < tb.numComputeBlades(); ++c) {
@@ -102,7 +103,7 @@ runBtBench(const BtBenchParams &params, RunCapture *capture)
         tb.compute(c).opLatency.reset();
     }
 
-    tb.sim().runUntil(params.warmupNs + params.measureNs);
+    tb.runUntil(params.warmupNs + params.measureNs);
 
     BtBenchResult res;
     std::uint64_t ops = 0;

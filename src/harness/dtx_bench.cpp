@@ -69,6 +69,7 @@ runDtxBench(const DtxBenchParams &params, RunCapture *capture)
     cfg.smart = params.smartOn ? presets::full() : presets::baseline();
     cfg.smart.corosPerThread = params.corosPerThread;
     cfg.smart.withBenchTimescale();
+    cfg.shards = params.shards;
     if (capture != nullptr) {
         cfg.traceSampleNs = sim::usec(500);
         cfg.spanSampleEvery = params.spanSampleEvery;
@@ -109,13 +110,13 @@ runDtxBench(const DtxBenchParams &params, RunCapture *capture)
         }
     }
 
-    tb.sim().runUntil(params.warmupNs);
+    tb.runUntil(params.warmupNs);
     std::uint64_t ops0 = rt.appOps.value();
     std::uint64_t aborts0 = rt.totalRetries.value();
     std::uint64_t wrs0 = rt.rnic().perf().wrsCompleted.value();
     rt.opLatency.reset();
 
-    tb.sim().runUntil(params.warmupNs + params.measureNs);
+    tb.runUntil(params.warmupNs + params.measureNs);
 
     DtxBenchResult res;
     std::uint64_t ops = rt.appOps.value() - ops0;

@@ -111,7 +111,7 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
         }
     }
 
-    tb.sim().runUntil(params.warmupNs);
+    tb.runUntil(params.warmupNs);
     std::uint64_t ops0 = 0;
     std::uint64_t retries0 = 0;
     std::uint64_t wrs0 = 0;
@@ -134,7 +134,7 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
         }
     }
 
-    tb.sim().runUntil(params.warmupNs + params.measureNs);
+    tb.runUntil(params.warmupNs + params.measureNs);
 
     HtBenchResult res;
     std::uint64_t ops = 0;

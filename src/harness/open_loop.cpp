@@ -7,6 +7,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <numbers>
 
 #include "smart/smart_ctx.hpp"
@@ -127,6 +129,13 @@ OpenLoopDriver::OpenLoopDriver(Testbed &tb, OpenLoopConfig cfg,
                                ServiceFn service)
     : tb_(tb), cfg_(std::move(cfg)), service_(std::move(service))
 {
+    if (tb.shards() > 1) {
+        // Always-on (not assert): arrival loops run on shard 0 but park
+        // and resume service coroutines living on compute-blade shards.
+        std::fprintf(stderr, "OpenLoopDriver: open-loop traffic requires "
+                             "a single-shard simulation (shards=1)\n");
+        std::abort();
+    }
     assert(!cfg_.tenants.empty());
     assert(cfg_.queueCap > 0);
     tenants_.reserve(cfg_.tenants.size());

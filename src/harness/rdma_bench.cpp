@@ -75,7 +75,7 @@ runRdmaBench(const TestbedConfig &cfg, const RdmaBenchParams &params,
         }
     }
 
-    tb.sim().runUntil(params.warmupNs);
+    tb.runUntil(params.warmupNs);
 
     // Snapshot post-warmup state.
     std::uint64_t wrs0 = 0;
@@ -93,7 +93,7 @@ runRdmaBench(const TestbedConfig &cfg, const RdmaBenchParams &params,
         tb.compute(c).rnic().mttCache().resetStats();
     }
 
-    tb.sim().runUntil(params.warmupNs + params.measureNs);
+    tb.runUntil(params.warmupNs + params.measureNs);
 
     RdmaBenchResult res;
     std::uint64_t wrs = 0;

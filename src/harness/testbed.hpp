@@ -38,6 +38,17 @@ struct TestbedConfig
     std::uint64_t bladeBytes = 1ull << 30; // 1 GB registered per blade
 
     /**
+     * Simulation shards (host threads): blades are distributed round-
+     * robin over this many Simulators, synchronized conservatively with
+     * the wire propagation latency as lookahead (see sim/wire.hpp).
+     * Clamped to the blade count; 1 (the default) is the classic
+     * single-threaded engine. Seeded results are byte-identical at any
+     * value. Incompatible with the fault plane, the membership plane and
+     * the metrics tracer (those hold cross-blade state on one shard).
+     */
+    std::uint32_t shards = 1;
+
+    /**
      * Virtual-time sampling cadence of the built-in tracer; 0 disables
      * tracing entirely (no sampling coroutine is spawned).
      */
@@ -59,32 +70,74 @@ struct TestbedConfig
 class Testbed
 {
   public:
-    explicit Testbed(const TestbedConfig &cfg) : cfg_(cfg)
+    explicit Testbed(const TestbedConfig &cfg)
+        : cfg_(cfg),
+          group_(effectiveShards(cfg),
+                 static_cast<sim::Time>(cfg.hw.propagationNs))
     {
-        if (cfg.spanSampleEvery > 0)
-            spans_ = std::make_unique<sim::SpanTracer>(
-                sim_, cfg.spanSampleEvery, cfg.spanMaxRecords);
+        const std::uint32_t shards = group_.size();
+        if (cfg.spanSampleEvery > 0) {
+            for (std::uint32_t s = 0; s < shards; ++s)
+                spans_.push_back(std::make_unique<sim::SpanTracer>(
+                    group_.shard(s), cfg.spanSampleEvery,
+                    cfg.spanMaxRecords));
+        }
+        std::uint32_t next_shard = 0;
+        auto pick = [&]() -> sim::Simulator & {
+            return group_.shard(next_shard++ % shards);
+        };
         for (std::uint32_t m = 0; m < cfg.memoryBlades; ++m) {
             memBlades_.push_back(std::make_unique<memblade::MemoryBlade>(
-                sim_, cfg.hw, "mb" + std::to_string(m), cfg.bladeBytes));
+                pick(), cfg.hw, "mb" + std::to_string(m), cfg.bladeBytes));
         }
         for (std::uint32_t c = 0; c < cfg.computeBlades; ++c) {
             computeBlades_.push_back(std::make_unique<SmartRuntime>(
-                sim_, cfg.hw, cfg.smart, cfg.threadsPerBlade,
+                pick(), cfg.hw, cfg.smart, cfg.threadsPerBlade,
                 "cb" + std::to_string(c)));
             for (auto &mb : memBlades_)
                 computeBlades_.back()->connect(*mb);
         }
         if (cfg.traceSampleNs > 0) {
-            tracer_ = std::make_unique<sim::Tracer>(sim_, sim_.metrics());
-            tracer_->start(cfg.traceSampleNs, defaultTraceFilter,
-                           cfg.traceMaxSamples);
+            // The tracer samples every blade's metrics from one shard;
+            // its constructor rejects grouped shards (always-on check).
+            // Metric timelines are a single-shard observability feature:
+            // on a sharded testbed they are skipped (the run itself is
+            // unaffected — counters still merge at snapshot time).
+            if (group_.size() > 1) {
+                std::fprintf(stderr,
+                             "Testbed: metric timelines disabled at "
+                             "shards=%u (single-shard feature)\n",
+                             static_cast<unsigned>(group_.size()));
+            } else {
+                tracer_ =
+                    std::make_unique<sim::Tracer>(sim(), sim().metrics());
+                tracer_->start(cfg.traceSampleNs, defaultTraceFilter,
+                               cfg.traceMaxSamples);
+            }
         }
     }
 
-    sim::Simulator &sim() { return sim_; }
-    const sim::Simulator &sim() const { return sim_; }
+    /**
+     * Shard 0's Simulator: where setup-time scheduling belongs, and — at
+     * one shard (the default) — the whole cluster. Code that touches a
+     * specific blade's virtual time should use that blade's own sim().
+     */
+    sim::Simulator &sim() { return group_.shard(0); }
+    const sim::Simulator &sim() const { return group_.shard(0); }
     const TestbedConfig &config() const { return cfg_; }
+
+    /** Number of simulation shards actually built. */
+    std::uint32_t shards() const { return group_.size(); }
+
+    /** The shard group driving every blade's Simulator. */
+    sim::ShardGroup &shardGroup() { return group_; }
+
+    /**
+     * Advance the whole cluster to virtual time @p deadline (all shard
+     * clocks equal on return). The only way to advance time on a sharded
+     * testbed; equivalent to sim().runUntil(deadline) at one shard.
+     */
+    void runUntil(sim::Time deadline) { group_.runUntil(deadline); }
 
     std::uint32_t numMemBlades() const { return memBlades_.size(); }
     memblade::MemoryBlade &memBlade(std::uint32_t i) { return *memBlades_[i]; }
@@ -99,26 +152,53 @@ class Testbed
     /** @return the built-in tracer (nullptr unless traceSampleNs > 0). */
     sim::Tracer *tracer() { return tracer_.get(); }
 
-    /** @return the span tracer (nullptr unless spanSampleEvery > 0). */
-    sim::SpanTracer *spanTracer() { return spans_.get(); }
+    /** @return shard 0's span tracer (nullptr unless spans are on). */
+    sim::SpanTracer *spanTracer()
+    {
+        return spans_.empty() ? nullptr : spans_[0].get();
+    }
+
+    /**
+     * Fold every shard's span records into shard 0's tracer and return
+     * it (nullptr unless spans are on). Call between phases, at capture
+     * time; repeated calls absorb only records added since.
+     */
+    sim::SpanTracer *
+    mergedSpanTracer()
+    {
+        if (spans_.empty())
+            return nullptr;
+        for (std::size_t s = 1; s < spans_.size(); ++s)
+            spans_[0]->absorb(*spans_[s]);
+        return spans_[0].get();
+    }
 
     /**
      * Lazily create (and install) the cluster's fault-injection plane.
      * Never called => no plane installed => zero overhead anywhere.
+     * Single-shard only (the plane's constructor enforces it).
      */
     sim::FaultPlane &
     faultPlane(std::uint64_t seed = 0x5eedfa17)
     {
         if (!faultPlane_)
-            faultPlane_ = std::make_unique<sim::FaultPlane>(sim_, seed);
+            faultPlane_ = std::make_unique<sim::FaultPlane>(sim(), seed);
         return *faultPlane_;
     }
 
-    /** Snapshot every registered metric at the current virtual time. */
+    /**
+     * Snapshot every registered metric at the current virtual time.
+     * Entries merge across shards in registration-stamp order, so the
+     * result is byte-identical at any shard count.
+     */
     sim::MetricsSnapshot
     snapshot() const
     {
-        return sim_.metrics().snapshot(sim_.now());
+        std::vector<const sim::MetricsRegistry *> regs;
+        regs.reserve(group_.size());
+        for (std::uint32_t s = 0; s < group_.size(); ++s)
+            regs.push_back(&group_.shard(s).metrics());
+        return sim::MetricsRegistry::mergedSnapshot(sim().now(), regs);
     }
 
     /**
@@ -141,14 +221,25 @@ class Testbed
     }
 
   private:
+    static std::uint32_t
+    effectiveShards(const TestbedConfig &cfg)
+    {
+        std::uint32_t blades = cfg.memoryBlades + cfg.computeBlades;
+        std::uint32_t n = cfg.shards == 0 ? 1 : cfg.shards;
+        return n < blades ? n : (blades == 0 ? 1 : blades);
+    }
+
     TestbedConfig cfg_;
-    sim::Simulator sim_;
+    // Declared first: the group owns every shard Simulator, which all
+    // members below reference — it must outlive (and so be built before)
+    // all of them.
+    sim::ShardGroup group_;
     std::vector<std::unique_ptr<memblade::MemoryBlade>> memBlades_;
     std::vector<std::unique_ptr<SmartRuntime>> computeBlades_;
-    // Declared after sim_: the plane unregisters from it on destruction.
+    // Declared after group_: the plane unregisters on destruction.
     std::unique_ptr<sim::FaultPlane> faultPlane_;
-    // Declared after sim_: the tracer uninstalls itself on destruction.
-    std::unique_ptr<sim::SpanTracer> spans_;
+    // Declared after group_: tracers uninstall themselves on destruction.
+    std::vector<std::unique_ptr<sim::SpanTracer>> spans_;
     // Declared last: sampling coroutine references members above.
     std::unique_ptr<sim::Tracer> tracer_;
 };
@@ -181,8 +272,8 @@ captureRun(Testbed &tb, RunCapture *cap)
         tb.tracer()->stop();
         cap->trace = tb.tracer()->take();
     }
-    if (tb.spanTracer() != nullptr) {
-        sim::SpanTracer &sp = *tb.spanTracer();
+    if (tb.mergedSpanTracer() != nullptr) {
+        sim::SpanTracer &sp = *tb.mergedSpanTracer();
         cap->spans = sp.attribution();
         cap->spanTrace = sp.chromeTraceString();
         cap->spanFolded = sp.collapsedStacks();

@@ -30,9 +30,88 @@ wcStatusName(WcStatus s)
     return "unknown";
 }
 
+/**
+ * What a WirePacket is doing on the wire right now. One WR takes either
+ * Request -> Response (success), Request -> Nak (responder refuses), or
+ * Request -> Timeout (responder crashed; the "packet" models the
+ * initiator transport giving up after its retry budget).
+ */
+enum class PacketKind : std::uint8_t
+{
+    Request,
+    Response,
+    Nak,
+    Timeout,
+};
+
+/**
+ * The unit of blade-to-blade traffic: one work request in flight. Crosses
+ * the wire inside a WireMsg, so it must fit the inline payload budget.
+ */
+struct WirePacket
+{
+    WorkReq wr;
+    Rnic *initiator = nullptr;
+    Rnic *responder = nullptr;
+    /**
+     * READ payload buffer: borrowed from the initiator's byte pool when
+     * the request is built, filled by the responder at DMA time, landed
+     * and recycled by the initiator. Riding the round trip keeps the
+     * pool touched only on the initiator's shard thread.
+     */
+    std::vector<std::uint8_t> payload;
+    std::uint64_t oldValue = 0; ///< prior memory value (CAS/FAA)
+    PacketKind kind = PacketKind::Request;
+    WcStatus status = WcStatus::Success;
+};
+
+/**
+ * Wire payload delivering one WirePacket: runs inside the injected
+ * delivery event on the destination shard, at the packet's dtime.
+ */
+struct PacketDelivery
+{
+    WirePacket pkt;
+
+    void
+    operator()()
+    {
+        switch (pkt.kind) {
+        case PacketKind::Request: {
+            Rnic *r = pkt.responder;
+            Rnic::startDetached(r->serveRequest(std::move(pkt)));
+            break;
+        }
+        case PacketKind::Response: {
+            Rnic *i = pkt.initiator;
+            Rnic::startDetached(i->finishOne(std::move(pkt)));
+            break;
+        }
+        case PacketKind::Nak:
+        case PacketKind::Timeout: {
+            Rnic *i = pkt.initiator;
+            i->recycleByteBuffer(std::move(pkt.payload));
+            i->completeError(pkt.wr, pkt.status);
+            break;
+        }
+        }
+    }
+};
+
+static_assert(sizeof(PacketDelivery) <= sim::WireMsg::kPayloadBytes,
+              "WirePacket outgrew the wire inline budget");
+static_assert(alignof(PacketDelivery) <= sim::WireMsg::kPayloadAlign);
+static_assert(std::is_nothrow_move_constructible_v<PacketDelivery>);
+
+void
+Rnic::sendPacket(Rnic &dst, Time dtime, WirePacket &&pkt)
+{
+    wire_.send(dst.sim_, dtime, PacketDelivery{std::move(pkt)});
+}
+
 Rnic::Rnic(sim::Simulator &sim, const RnicConfig &cfg, std::string name)
     : sim_(sim), cfg_(cfg), name_(std::move(name)),
-      faultName_(name_ + ".rnic"),
+      faultName_(name_ + ".rnic"), wire_(sim),
       pipeline_(sim, 1, name_ + ".pipe"),
       atomicUnits_(sim, cfg.atomicUnits, name_ + ".atomic"),
       dmaEngines_(sim, cfg.dmaEngines, name_ + ".dma"),
@@ -225,19 +304,21 @@ Rnic::sendStart(std::uint32_t bytes, std::coroutine_handle<> h)
 void
 Rnic::sendOccupy(std::uint32_t bytes, std::coroutine_handle<> h)
 {
+    // Resumes at serialization end; propagation is carried by the wire
+    // packet's delivery timestamp (see sendPacket), not modelled here.
     Time occupancy =
         static_cast<Time>(static_cast<double>(bytes) / cfg_.linkBytesPerNs);
-    auto landed = [this, h] {
+    if (occupancy == 0) {
+        // May run inside await_suspend, where the frame is not suspended
+        // yet: bounce through the event queue instead of resuming inline.
         egress_.release();
-        if (cfg_.propagationNs == 0)
-            h.resume();
-        else
-            sim_.scheduleResume(cfg_.propagationNs, h);
-    };
-    if (occupancy == 0)
-        landed();
-    else
-        sim_.schedule(occupancy, landed);
+        sim_.post(h);
+        return;
+    }
+    sim_.schedule(occupancy, [this, h] {
+        egress_.release();
+        h.resume();
+    });
 }
 
 void
@@ -327,116 +408,171 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     else if (wr.op == Op::Faa)
         req_bytes += 8;
     Time wire_t0 = sim_.now();
-    co_await sendTo(*target, req_bytes);
-    devSpan(*this, sim::Stage::Link, wire_t0);
+    co_await sendTo(*target, req_bytes); // resumes at serialization end
+    Time arrival = sim_.now() + cfg_.propagationNs;
+    if (sp != nullptr)
+        sp->record(spanTrack(*sp), sim::Stage::Link, wr.traceSpan, wire_t0,
+                   arrival);
 
-    // ---- Responder ----
-    if (target->down_) {
-        // Crashed while the request was in flight: no ACK ever comes.
-        co_await sim_.delay(cfg_.transportRetryNs);
-        completeError(wr, WcStatus::RetryExceeded);
+    WirePacket pkt;
+    pkt.initiator = this;
+    pkt.responder = target;
+    pkt.kind = PacketKind::Request;
+    if (wr.op == Op::Read)
+        pkt.payload = takeByteBuffer(); // responder fills it at DMA time
+    pkt.wr = std::move(wr);
+    sendPacket(*target, arrival, std::move(pkt));
+    // The WR continues in serveRequest() on the responder's shard.
+}
+
+Task
+Rnic::serveRequest(WirePacket pkt)
+{
+    WorkReq &wr = pkt.wr;
+    Rnic *initiator = pkt.initiator;
+    // Responder-side spans are recorded only when the initiator shares
+    // our shard: wr.traceSpan ids belong to the *initiator's* tracer, and
+    // a cross-shard record would race it. At one shard this matches the
+    // single-engine behaviour exactly.
+    sim::SpanTracer *sp =
+        (wr.traceSpan != 0 && &sim_ == &initiator->sim_) ? sim_.spans()
+                                                         : nullptr;
+    auto devSpan = [&](sim::Stage st, Time t0) {
+        if (sp != nullptr)
+            sp->record(spanTrack(*sp), st, wr.traceSpan, t0, sim_.now());
+    };
+
+    if (down_) {
+        // Crashed while the request was in flight: no ACK ever comes; the
+        // initiator transport retries for its budget, then gives up. The
+        // Timeout packet models that budget expiring on the initiator.
+        pkt.kind = PacketKind::Timeout;
+        pkt.status = WcStatus::RetryExceeded;
+        sendPacket(*initiator, sim_.now() + cfg_.transportRetryNs,
+                   std::move(pkt));
         co_return;
     }
-    target->perf_.wrsServed.add();
-    co_await target->pipeline_.acquire();
+    perf_.wrsServed.add();
+    co_await pipeline_.acquire();
     co_await sim_.delay(cfg_.pipeResponderNs);
-    target->pipeline_.release();
+    pipeline_.release();
 
-    const MrRecord *mr = target->findMr(wr.rkey);
+    const MrRecord *mr = findMr(wr.rkey);
     if (mr == nullptr || wr.remoteOffset + wr.length > mr->length) {
         // Invalid rkey (e.g. the MR was re-registered after a blade
         // restart) or out-of-bounds access: the responder NAKs and the
         // initiator sees an error CQE.
-        co_await target->sendTo(*this, cfg_.headerBytes);
-        completeError(wr, WcStatus::RemoteAccessError);
+        co_await sendTo(*initiator, cfg_.headerBytes);
+        pkt.kind = PacketKind::Nak;
+        pkt.status = WcStatus::RemoteAccessError;
+        sendPacket(*initiator, sim_.now() + cfg_.propagationNs,
+                   std::move(pkt));
         co_return;
     }
     std::uint8_t *remote = mr->base + wr.remoteOffset;
-    wire_t0 = sim_.now();
-    co_await target->translate(transKey(mr->id, wr.remoteOffset));
-    devSpan(*target, sim::Stage::MttFetch, wire_t0);
+    Time t0 = sim_.now();
+    co_await translate(transKey(mr->id, wr.remoteOffset));
+    devSpan(sim::Stage::MttFetch, t0);
 
-    std::uint64_t old_value = 0;
-    std::vector<std::uint8_t> snapshot; // pooled; only READs populate it
     std::uint32_t resp_bytes = cfg_.headerBytes;
 
     switch (wr.op) {
       case Op::Read: {
         std::uint32_t bytes = wr.length + cfg_.payloadPadBytes;
-        target->perf_.dramBytes.add(bytes);
-        Time t0 = sim_.now();
-        co_await target->pcieDma(bytes);
-        devSpan(*target, sim::Stage::Dma, t0);
+        perf_.dramBytes.add(bytes);
+        t0 = sim_.now();
+        co_await pcieDma(bytes);
+        devSpan(sim::Stage::Dma, t0);
         // Snapshot target memory at DMA-read time: later concurrent
         // writes must not be visible to this READ.
-        snapshot = takeByteBuffer();
-        snapshot.assign(remote, remote + wr.length);
+        pkt.payload.assign(remote, remote + wr.length);
         resp_bytes += wr.length;
         break;
       }
       case Op::Write: {
         std::uint32_t bytes = wr.length + cfg_.payloadPadBytes;
-        target->perf_.dramBytes.add(bytes);
-        Time t0 = sim_.now();
-        co_await target->pcieDma(bytes);
-        devSpan(*target, sim::Stage::Dma, t0);
+        perf_.dramBytes.add(bytes);
+        t0 = sim_.now();
+        co_await pcieDma(bytes);
+        devSpan(sim::Stage::Dma, t0);
         assert(wr.localBuf != nullptr);
+        // Cross-shard source read: the bytes behind wr.localBuf were
+        // written before the request was pushed onto the wire ring, and
+        // the ring's release/acquire pair orders them before this copy.
         std::memcpy(remote, wr.localBuf, wr.length);
         break;
       }
       case Op::Cas: {
         assert(wr.length == 8);
-        Time t0 = sim_.now();
-        co_await target->atomicUnits_.acquire();
+        t0 = sim_.now();
+        co_await atomicUnits_.acquire();
         co_await sim_.delay(cfg_.atomicServiceNs);
         // Atomic read-compare-write executes in one event: no interleaving.
-        std::memcpy(&old_value, remote, 8);
-        if (old_value == wr.compare)
+        std::memcpy(&pkt.oldValue, remote, 8);
+        if (pkt.oldValue == wr.compare)
             std::memcpy(remote, &wr.swap, 8);
-        target->atomicUnits_.release();
-        devSpan(*target, sim::Stage::Atomic, t0);
-        target->perf_.dramBytes.add(16);
+        atomicUnits_.release();
+        devSpan(sim::Stage::Atomic, t0);
+        perf_.dramBytes.add(16);
         resp_bytes += 8;
         break;
       }
       case Op::Faa: {
         assert(wr.length == 8);
-        Time t0 = sim_.now();
-        co_await target->atomicUnits_.acquire();
+        t0 = sim_.now();
+        co_await atomicUnits_.acquire();
         co_await sim_.delay(cfg_.atomicServiceNs);
-        std::memcpy(&old_value, remote, 8);
-        std::uint64_t updated = old_value + wr.compare;
+        std::memcpy(&pkt.oldValue, remote, 8);
+        std::uint64_t updated = pkt.oldValue + wr.compare;
         std::memcpy(remote, &updated, 8);
-        target->atomicUnits_.release();
-        devSpan(*target, sim::Stage::Atomic, t0);
-        target->perf_.dramBytes.add(16);
+        atomicUnits_.release();
+        devSpan(sim::Stage::Atomic, t0);
+        perf_.dramBytes.add(16);
         resp_bytes += 8;
         break;
       }
     }
 
     // ---- Response over the wire ----
-    wire_t0 = sim_.now();
-    co_await target->sendTo(*this, resp_bytes);
-    devSpan(*target, sim::Stage::Link, wire_t0);
+    Time wire_t0 = sim_.now();
+    co_await sendTo(*initiator, resp_bytes);
+    Time arrival = sim_.now() + cfg_.propagationNs;
+    if (sp != nullptr)
+        sp->record(spanTrack(*sp), sim::Stage::Link, wr.traceSpan, wire_t0,
+                   arrival);
+    pkt.kind = PacketKind::Response;
+    pkt.status = WcStatus::Success;
+    sendPacket(*initiator, arrival, std::move(pkt));
+    // The WR continues in finishOne() on the initiator's shard.
+}
+
+Task
+Rnic::finishOne(WirePacket pkt)
+{
+    WorkReq &wr = pkt.wr;
+    sim::SpanTracer *sp = wr.traceSpan != 0 ? sim_.spans() : nullptr;
+    auto devSpan = [&](sim::Stage st, Time t0) {
+        if (sp != nullptr)
+            sp->record(spanTrack(*sp), st, wr.traceSpan, t0, sim_.now());
+    };
 
     // ---- Initiator completion ----
     if (down_ || epoch_ != wr.initEpoch) {
         // The initiating device reset/crashed under this WR: its QP is
         // gone, so the response is dropped and the WR flushes in error.
-        recycleByteBuffer(std::move(snapshot));
+        recycleByteBuffer(std::move(pkt.payload));
         completeError(wr, WcStatus::FlushedInError);
         co_return;
     }
     if (pendingCompletionErrors_ > 0) {
         --pendingCompletionErrors_;
-        recycleByteBuffer(std::move(snapshot));
+        recycleByteBuffer(std::move(pkt.payload));
         completeError(wr, WcStatus::RemoteAccessError);
         co_return;
     }
     if (completionErrorProb_ > 0.0 && faultRng_ != nullptr &&
         faultRng_->uniformDouble() < completionErrorProb_) {
-        recycleByteBuffer(std::move(snapshot));
+        recycleByteBuffer(std::move(pkt.payload));
         completeError(wr, WcStatus::RemoteAccessError);
         co_return;
     }
@@ -456,7 +592,7 @@ Rnic::processOne(Rnic *target, WorkReq wr)
         co_await dmaEngines_.acquire();
         co_await sim_.delay(cfg_.dmaMissServiceNs);
         dmaEngines_.release();
-        devSpan(*this, sim::Stage::WqeFetch, t0);
+        devSpan(sim::Stage::WqeFetch, t0);
     }
     co_await pipeline_.acquire();
     co_await sim_.delay(cfg_.pipeCompletionNs);
@@ -469,20 +605,20 @@ Rnic::processOne(Rnic *target, WorkReq wr)
     else if (wr.op == Op::Cas || wr.op == Op::Faa)
         land_bytes += 8;
     perf_.dramBytes.add(land_bytes);
-    wire_t0 = sim_.now();
+    Time wire_t0 = sim_.now();
     co_await pcieDma(land_bytes);
-    devSpan(*this, sim::Stage::Pcie, wire_t0);
+    devSpan(sim::Stage::Pcie, wire_t0);
 
     if (wr.op == Op::Read && wr.localBuf != nullptr)
-        std::memcpy(wr.localBuf, snapshot.data(), wr.length);
+        std::memcpy(wr.localBuf, pkt.payload.data(), wr.length);
     if ((wr.op == Op::Cas || wr.op == Op::Faa) && wr.localBuf != nullptr)
-        std::memcpy(wr.localBuf, &old_value, 8);
-    recycleByteBuffer(std::move(snapshot));
+        std::memcpy(wr.localBuf, &pkt.oldValue, 8);
+    recycleByteBuffer(std::move(pkt.payload));
 
     perf_.wrsCompleted.add();
     --owrNow_;
     if (wr.sink != nullptr)
-        wr.sink->complete(wr, old_value, WcStatus::Success);
+        wr.sink->complete(wr, pkt.oldValue, WcStatus::Success);
 }
 
 } // namespace smart::rnic

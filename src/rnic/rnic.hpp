@@ -53,6 +53,8 @@ const char *wcStatusName(WcStatus s);
 
 class Rnic;
 struct WorkReq;
+struct WirePacket;
+struct PacketDelivery;
 
 /** Receives the completion of a work request (implemented by verbs::Cq). */
 class CompletionSink
@@ -320,11 +322,40 @@ class Rnic : public sim::FaultTarget
     }
 
   private:
+    friend struct PacketDelivery;
+
     /** Fetch the batch's WQEs via PCIe, then issue each WR. */
     sim::Task processBatch(Rnic *target, std::vector<WorkReq> batch);
 
-    /** Drive one WR through initiator, fabric, responder and completion. */
+    /**
+     * Initiator half of one WR: issue pipeline, ICM/MTT lookups, egress
+     * serialization, then hand the request to the wire as a timestamped
+     * WirePacket. The WR continues in serveRequest() on the responder's
+     * shard; this frame dies at the wire.
+     */
     sim::Task processOne(Rnic *target, WorkReq wr);
+
+    /**
+     * Responder half (this == the responder): pipeline, MR check,
+     * translation, the operation itself against host bytes, egress — and
+     * the response packet back over the wire. Runs inside the delivery
+     * event on the responder's shard.
+     */
+    sim::Task serveRequest(WirePacket pkt);
+
+    /**
+     * Completion half (this == the initiator): WQE-cache model,
+     * completion pipeline, CQE/payload landing, CQE delivery. Runs on
+     * the initiator's shard when the response packet arrives.
+     */
+    sim::Task finishOne(WirePacket pkt);
+
+    /** Start a detached task inline (wire deliveries; no extra event). */
+    static void
+    startDetached(sim::Task t)
+    {
+        t.detach().resume();
+    }
 
     /*
      * The per-WR leaf stages below are frameless awaitables, not child
@@ -355,7 +386,13 @@ class Rnic : public sim::FaultTarget
     void dmaStart(std::uint32_t bytes, std::coroutine_handle<> h);
     void dmaOccupy(std::uint32_t bytes, std::coroutine_handle<> h);
 
-    /** Awaitable: occupy the egress link, then propagate to the peer. */
+    /**
+     * Awaitable: occupy the egress link for the serialization time of
+     * @p bytes. Resumes when the last byte leaves the sender; wire
+     * propagation is *not* included — it is carried by the WirePacket's
+     * delivery timestamp (sender now + propagationNs), so the crossing
+     * itself is an explicit mailbox message, never a direct peer event.
+     */
     struct SendAwaiter
     {
         Rnic &nic; // the sending side: its egress link is occupied
@@ -376,6 +413,9 @@ class Rnic : public sim::FaultTarget
         (void)dst; // latency model is symmetric; dst kept for readability
         return {*this, bytes};
     }
+
+    /** Post @p pkt for delivery on @p dst's shard at absolute @p dtime. */
+    void sendPacket(Rnic &dst, sim::Time dtime, WirePacket &&pkt);
     void sendStart(std::uint32_t bytes, std::coroutine_handle<> h);
     void sendOccupy(std::uint32_t bytes, std::coroutine_handle<> h);
 
@@ -413,6 +453,9 @@ class Rnic : public sim::FaultTarget
     RnicConfig cfg_;
     std::string name_;
     std::string faultName_;
+    /** This adapter's wire identity: fixes cross-blade delivery
+     *  tie-breaks independently of shard assignment (see wire.hpp). */
+    sim::WireEndpoint wire_;
 
     sim::Resource pipeline_;
     sim::Resource atomicUnits_;

@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -39,11 +40,19 @@
 
 namespace smart::sim {
 
+class EventQueue;
+
 /**
  * Process-wide tally of DES kernel work, aggregated across every
- * Simulator instance in the process. Reporter/BenchCli read this to emit
- * the perf block; benches with several Simulators (scale-out sweeps)
- * still get one coherent events/sec figure.
+ * Simulator instance in the process — including per-shard breakdowns
+ * when shards ran on real threads. Reporter/BenchCli read this via
+ * collectKernelPerf() to emit the perf block; benches with several
+ * Simulators (scale-out sweeps, shard groups) still get one coherent
+ * events/sec figure.
+ *
+ * Totals: eventsProcessed/ringInserts/heapInserts sum across shards;
+ * peakQueueDepth is the max over per-shard peaks (queues on different
+ * shards never share storage, so summing peaks would be meaningless).
  */
 struct KernelPerf
 {
@@ -52,19 +61,26 @@ struct KernelPerf
     /** Tier split of insertions (diagnostic: the ring should dominate). */
     std::uint64_t ringInserts = 0;
     std::uint64_t heapInserts = 0;
+
+    /** One row per shard index that ever hosted an EventQueue. */
+    struct Shard
+    {
+        std::uint32_t shard = 0;
+        std::uint64_t eventsProcessed = 0;
+        std::uint64_t peakQueueDepth = 0;
+        std::uint64_t ringInserts = 0;
+        std::uint64_t heapInserts = 0;
+    };
+    std::vector<Shard> shards;
 };
 
-namespace detail {
-/* Namespace-scope so the accessor has no function-local-static guard:
- * it is read/written twice per event. */
-inline constinit KernelPerf g_kernelPerf{};
-} // namespace detail
-
-inline KernelPerf &
-processKernelPerf() noexcept
-{
-    return detail::g_kernelPerf;
-}
+/**
+ * Aggregate kernel counters across all EventQueues, live and destroyed.
+ * Counters are plain per-queue fields written only by the owning shard's
+ * thread; call this while no simulation is advancing (between phases,
+ * after runs) — exactly when perf is reported.
+ */
+KernelPerf collectKernelPerf();
 
 /**
  * Move-only callable with fixed 24-byte inline storage and no heap
@@ -254,6 +270,22 @@ class EventQueue
   public:
     using Callback = EventFn;
 
+    EventQueue();
+    ~EventQueue();
+    /* Pinned: the process-wide perf registry holds this queue's address
+     * for its whole lifetime. */
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Attribute this queue's kernel counters to shard @p s in the
+     * process-wide perf aggregation (set by ShardGroup; defaults to 0).
+     */
+    void setShardIndex(std::uint32_t s) { shardIndex_ = s; }
+
+    /** Shard this queue's counters are attributed to. */
+    std::uint32_t shardIndex() const { return shardIndex_; }
+
     /**
      * Schedule @p cb to run at absolute virtual time @p when. Takes an
      * rvalue reference (not by-value) so the callable built at the call
@@ -333,6 +365,12 @@ class EventQueue
 
     /** High-water mark of pending events. */
     std::uint64_t peakDepth() const { return peak_; }
+
+    /** Insertions that landed in the calendar-ring tier. */
+    std::uint64_t ringInserts() const { return ringInserts_; }
+
+    /** Insertions that spilled to the far-future heap tier. */
+    std::uint64_t heapInserts() const { return heapInserts_; }
 
     /** Events currently waiting in the far-future heap tier (tests). */
     std::size_t heapTierSize() const { return heap_.size(); }
@@ -435,12 +473,8 @@ class EventQueue
     insert(Time when, std::uint64_t seq, EventFn &&fn)
     {
         ++size_;
-        if (size_ > peak_) {
+        if (size_ > peak_)
             peak_ = size_;
-            KernelPerf &kp = processKernelPerf();
-            if (size_ > kp.peakQueueDepth)
-                kp.peakQueueDepth = size_;
-        }
         // Unsigned subtraction: when < ringBase_ cannot happen (the
         // Simulator clamps to now and ringBase_ never passes the earliest
         // pending event), but would wrap huge and fall to the heap, which
@@ -459,7 +493,7 @@ class EventQueue
             }
             ++b.count;
             ++ringCount_;
-            ++detail::g_kernelPerf.ringInserts;
+            ++ringInserts_;
             std::size_t dist = static_cast<std::size_t>(when - ringBase_);
             if (ringCount_ == 1 || (nearValid_ && dist < nearDist_)) {
                 nearDist_ = dist;
@@ -468,7 +502,7 @@ class EventQueue
         } else {
             heap_.emplace_back(when, seq, std::move(fn));
             std::push_heap(heap_.begin(), heap_.end(), ItemLater{});
-            ++detail::g_kernelPerf.heapInserts;
+            ++heapInserts_;
         }
     }
 
@@ -506,7 +540,6 @@ class EventQueue
     {
         --size_;
         ++processed_;
-        ++processKernelPerf().eventsProcessed;
 
         if (use_ring) {
             // Advance the window only on a ring pop: if the heap tier won
@@ -630,7 +663,92 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
     std::uint64_t peak_ = 0;
+    std::uint64_t ringInserts_ = 0;
+    std::uint64_t heapInserts_ = 0;
+    std::uint32_t shardIndex_ = 0;
 };
+
+namespace detail {
+
+/**
+ * Registry behind collectKernelPerf(): live queues plus the final
+ * counters of destroyed ones (per shard index). Registration happens at
+ * Simulator construction/destruction — always on the setup thread, and
+ * never on the per-event hot path, which now touches only per-queue
+ * plain fields (single writer: the owning shard's thread).
+ */
+struct KernelPerfRegistry
+{
+    std::mutex mu;
+    std::vector<EventQueue *> live;
+    std::vector<KernelPerf::Shard> retired;
+};
+
+inline KernelPerfRegistry &
+kernelPerfRegistry()
+{
+    static KernelPerfRegistry r;
+    return r;
+}
+
+inline KernelPerf::Shard &
+shardRow(std::vector<KernelPerf::Shard> &rows, std::uint32_t shard)
+{
+    for (KernelPerf::Shard &row : rows)
+        if (row.shard == shard)
+            return row;
+    rows.push_back(KernelPerf::Shard{shard, 0, 0, 0, 0});
+    return rows.back();
+}
+
+} // namespace detail
+
+inline EventQueue::EventQueue()
+{
+    detail::KernelPerfRegistry &r = detail::kernelPerfRegistry();
+    std::lock_guard<std::mutex> l(r.mu);
+    r.live.push_back(this);
+}
+
+inline EventQueue::~EventQueue()
+{
+    detail::KernelPerfRegistry &r = detail::kernelPerfRegistry();
+    std::lock_guard<std::mutex> l(r.mu);
+    KernelPerf::Shard &row = detail::shardRow(r.retired, shardIndex_);
+    row.eventsProcessed += processed_;
+    row.ringInserts += ringInserts_;
+    row.heapInserts += heapInserts_;
+    row.peakQueueDepth = std::max(row.peakQueueDepth, peak_);
+    std::erase(r.live, this);
+}
+
+inline KernelPerf
+collectKernelPerf()
+{
+    detail::KernelPerfRegistry &r = detail::kernelPerfRegistry();
+    std::lock_guard<std::mutex> l(r.mu);
+    KernelPerf out;
+    out.shards = r.retired;
+    for (const EventQueue *q : r.live) {
+        KernelPerf::Shard &row =
+            detail::shardRow(out.shards, q->shardIndex());
+        row.eventsProcessed += q->totalProcessed();
+        row.ringInserts += q->ringInserts();
+        row.heapInserts += q->heapInserts();
+        row.peakQueueDepth = std::max(row.peakQueueDepth, q->peakDepth());
+    }
+    std::sort(out.shards.begin(), out.shards.end(),
+              [](const KernelPerf::Shard &a, const KernelPerf::Shard &b) {
+                  return a.shard < b.shard;
+              });
+    for (const KernelPerf::Shard &s : out.shards) {
+        out.eventsProcessed += s.eventsProcessed;
+        out.ringInserts += s.ringInserts;
+        out.heapInserts += s.heapInserts;
+        out.peakQueueDepth = std::max(out.peakQueueDepth, s.peakQueueDepth);
+    }
+    return out;
+}
 
 } // namespace smart::sim
 

@@ -6,6 +6,7 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace smart::sim {
@@ -204,6 +205,11 @@ MetricsRegistry::add(Entry e)
     // from constructors, so any collision is a wiring bug.
     assert(std::none_of(entries_.begin(), entries_.end(),
                         [&](const Entry &o) { return o.id == e.id; }));
+    // Construction always happens on the setup thread (between phases of
+    // a sharded run), so the stamp order is the single-threaded
+    // construction order regardless of how blades map to shards.
+    static std::atomic<std::uint64_t> next{1};
+    e.stamp = next.fetch_add(1, std::memory_order_relaxed);
     entries_.push_back(std::move(e));
 }
 
@@ -253,29 +259,56 @@ MetricsRegistry::unregisterOwner(const void *owner)
                    entries_.end());
 }
 
+SnapshotEntry
+MetricsRegistry::sample(const Entry &e)
+{
+    SnapshotEntry s;
+    s.id = e.id;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::Counter:
+        s.counter = e.counter->value();
+        break;
+      case MetricKind::Gauge:
+        s.gauge = e.gauge();
+        break;
+      case MetricKind::Histogram:
+        s.hist = HistogramSummary::of(*e.hist);
+        break;
+    }
+    return s;
+}
+
 MetricsSnapshot
 MetricsRegistry::snapshot(Time now) const
 {
     MetricsSnapshot snap;
     snap.at = now;
     snap.entries.reserve(entries_.size());
-    for (const Entry &e : entries_) {
-        SnapshotEntry s;
-        s.id = e.id;
-        s.kind = e.kind;
-        switch (e.kind) {
-          case MetricKind::Counter:
-            s.counter = e.counter->value();
-            break;
-          case MetricKind::Gauge:
-            s.gauge = e.gauge();
-            break;
-          case MetricKind::Histogram:
-            s.hist = HistogramSummary::of(*e.hist);
-            break;
-        }
+    for (const Entry &e : entries_)
+        snap.entries.push_back(sample(e));
+    return snap;
+}
+
+MetricsSnapshot
+MetricsRegistry::mergedSnapshot(Time now,
+                                const std::vector<const MetricsRegistry *> &regs)
+{
+    std::vector<std::pair<std::uint64_t, SnapshotEntry>> keyed;
+    std::size_t total = 0;
+    for (const MetricsRegistry *r : regs)
+        total += r->entries_.size();
+    keyed.reserve(total);
+    for (const MetricsRegistry *r : regs)
+        for (const Entry &e : r->entries_)
+            keyed.emplace_back(e.stamp, sample(e));
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    MetricsSnapshot snap;
+    snap.at = now;
+    snap.entries.reserve(keyed.size());
+    for (auto &[stamp, s] : keyed)
         snap.entries.push_back(std::move(s));
-    }
     return snap;
 }
 

@@ -142,6 +142,17 @@ class MetricsRegistry
     MetricsSnapshot snapshot(Time now) const;
 
     /**
+     * Snapshot several registries (one per shard of a ShardGroup) as one.
+     * Entries are ordered by their process-global registration stamp, so
+     * the merged order equals single-registry registration order: the
+     * same cluster built at any shard count — including one — snapshots
+     * to byte-identical output. Call only between phases (no shard
+     * mutates metrics while this reads them).
+     */
+    static MetricsSnapshot
+    mergedSnapshot(Time now, const std::vector<const MetricsRegistry *> &regs);
+
+    /**
      * Visit every scalar metric (counters and gauges) as a double —
      * the tracer uses this to build its series list.
      */
@@ -159,7 +170,11 @@ class MetricsRegistry
         const Counter *counter = nullptr;
         std::function<double()> gauge;
         const LatencyHistogram *hist = nullptr;
+        /** Process-global registration order (mergedSnapshot sort key). */
+        std::uint64_t stamp = 0;
     };
+
+    static SnapshotEntry sample(const Entry &e);
 
     void add(Entry e);
 

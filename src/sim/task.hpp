@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <new>
 #include <utility>
 #include <vector>
@@ -24,13 +25,106 @@
 namespace smart::sim {
 
 /**
- * Size-bucketed freelist for coroutine frames. The simulation spawns a
- * short-lived detached Task per work request, so frame allocation is on
- * the hot path; recycling frames of the same (rounded) size keeps the
- * steady state away from the allocator. Single-threaded by design — the
- * whole cluster simulates on one OS thread. Freed frames are kept in
- * static vectors (reachable, so leak checkers stay quiet) and returned to
- * the allocator only at process exit.
+ * Per-shard (thread-local) size-classed arena for coroutine frames. The
+ * simulation spawns a short-lived detached Task per work request, so
+ * frame allocation is on the hot path; an empty class refills by carving
+ * from a 64 KiB slab, and freed frames are threaded onto intrusive
+ * freelists — the next pointer lives inside the dead frame itself, so
+ * neither allocate nor release ever touches the general-purpose
+ * allocator in steady state (the old freelist-vector growth was the last
+ * hot-path allocation, visible as spawn_churn's 0.123 allocs/1k events).
+ *
+ * Thread-locality matches the sharded engine: a frame is allocated and
+ * freed on the shard thread that runs its coroutine. Slabs are
+ * process-lifetime (registered in a global list, so leak checkers stay
+ * quiet and a frame outliving its arena's thread remains valid) and are
+ * never returned to the allocator.
+ */
+class FrameArena
+{
+  public:
+    void *
+    allocate(std::size_t n)
+    {
+        std::size_t cls = classFor(n);
+        if (cls < kClasses) {
+            void *p = free_[cls];
+            if (p != nullptr) {
+                free_[cls] = nextOf(p);
+                return p;
+            }
+            return carve((cls + 1) * kGranule);
+        }
+        // Oversized frames (deep coroutines with big locals) are not
+        // part of any steady-state per-op path; hand them to the
+        // allocator rather than fragmenting slabs.
+        return ::operator new(n);
+    }
+
+    void
+    release(void *p, std::size_t n) noexcept
+    {
+        std::size_t cls = classFor(n);
+        if (cls < kClasses) {
+            nextOf(p) = free_[cls];
+            free_[cls] = p;
+            return;
+        }
+        ::operator delete(p);
+    }
+
+  private:
+    static constexpr std::size_t kGranule = 64;
+    static constexpr std::size_t kClasses = 64; // frames up to 4 KiB pooled
+    static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+    static std::size_t
+    classFor(std::size_t n) noexcept
+    {
+        return (n + kGranule - 1) / kGranule - 1;
+    }
+
+    static void *&
+    nextOf(void *p) noexcept
+    {
+        return *static_cast<void **>(p);
+    }
+
+    void *
+    carve(std::size_t bytes)
+    {
+        if (static_cast<std::size_t>(slabEnd_ - slabCur_) < bytes) {
+            auto *slab = static_cast<std::byte *>(::operator new(kSlabBytes));
+            registerSlab(slab);
+            slabCur_ = slab;
+            slabEnd_ = slab + kSlabBytes;
+        }
+        void *p = slabCur_;
+        slabCur_ += bytes;
+        return p;
+    }
+
+    /** Keep every slab reachable for the process lifetime (leak checkers,
+     * frames whose lifetime outlives this arena's thread). */
+    static void
+    registerSlab(std::byte *slab)
+    {
+        static std::mutex mu;
+        static std::vector<std::byte *> &slabs =
+            *new std::vector<std::byte *>; // intentionally immortal
+        std::lock_guard<std::mutex> l(mu);
+        slabs.push_back(slab);
+    }
+
+    void *free_[kClasses] = {};
+    std::byte *slabCur_ = nullptr;
+    std::byte *slabEnd_ = nullptr;
+};
+
+/**
+ * The frame allocator used by Task::promise_type: one FrameArena per
+ * thread (i.e. per shard). constinit, so access is a plain TLS load with
+ * no guard branch.
  */
 class FramePool
 {
@@ -38,51 +132,20 @@ class FramePool
     static void *
     allocate(std::size_t n)
     {
-        std::size_t bucket = bucketFor(n);
-        if (bucket < kBuckets) {
-            std::vector<void *> &free = freelist()[bucket];
-            if (!free.empty()) {
-                void *p = free.back();
-                free.pop_back();
-                return p;
-            }
-            n = (bucket + 1) * kGranule;
-        }
-        return ::operator new(n);
+        return arena_.allocate(n);
     }
 
     static void
     release(void *p, std::size_t n) noexcept
     {
-        std::size_t bucket = bucketFor(n);
-        if (bucket < kBuckets) {
-            std::vector<void *> &free = freelist()[bucket];
-            if (free.size() < kMaxPerBucket) {
-                free.push_back(p);
-                return;
-            }
-        }
-        ::operator delete(p);
+        arena_.release(p, n);
     }
 
   private:
-    static constexpr std::size_t kGranule = 64;
-    static constexpr std::size_t kBuckets = 32; // frames up to 2 KiB pooled
-    static constexpr std::size_t kMaxPerBucket = 4096;
-
-    static std::size_t
-    bucketFor(std::size_t n) noexcept
-    {
-        return (n + kGranule - 1) / kGranule - 1;
-    }
-
-    static std::vector<void *> *
-    freelist() noexcept
-    {
-        static std::vector<void *> lists[kBuckets];
-        return lists;
-    }
+    static thread_local constinit FrameArena arena_;
 };
+
+inline thread_local constinit FrameArena FramePool::arena_{};
 
 /** A lazily-started coroutine returning void. */
 class Task

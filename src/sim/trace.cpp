@@ -5,6 +5,9 @@
 
 #include "sim/trace.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace smart::sim {
 
 const TraceSeries *
@@ -52,6 +55,13 @@ TraceData::toJson() const
 void
 Tracer::start(Time period, Filter filter, std::size_t max_samples)
 {
+    if (sim_.shardLink() != nullptr) {
+        // Always-on (not assert): the sampling coroutine reads every
+        // blade's metrics from one shard mid-run.
+        std::fprintf(stderr, "Tracer: metric timelines require a "
+                             "single-shard simulation (shards=1)\n");
+        std::abort();
+    }
     period_ = period;
     maxSamples_ = max_samples;
     running_ = true;

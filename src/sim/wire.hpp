@@ -1,0 +1,595 @@
+/**
+ * @file
+ * Explicit cross-shard wire mailboxes and the conservative-lookahead
+ * shard group.
+ *
+ * Every interaction that crosses a simulated wire goes through a
+ * timestamped WireMsg delivered to the destination Simulator's WireInbox,
+ * never by scheduling directly into a peer EventQueue. Messages carry a
+ * globally-ordered (deliveryTime, srcId, perSourceSeq) key; the inbox
+ * holds them until the destination clock reaches deliveryTime and then
+ * injects them — sorted by that key — as ordinary events. Because the
+ * key and the injection discipline are independent of how blades are
+ * assigned to shards, a seeded run produces byte-identical output at any
+ * shard count, including 1 (where the same inbox path is used without
+ * any synchronization).
+ *
+ * Shards synchronize conservatively (null-message style): shard i may
+ * execute events strictly below min(other shards' lower bound) +
+ * lookahead, where lookahead is the modelled wire propagation latency.
+ * Each shard publishes a monotone lower bound on its future sends,
+ *   lb_i = min(nextLocalEvent, nextInboxDelivery, minOtherLb + L),
+ * so idle shards chase their neighbours (+L) instead of claiming
+ * "never" — a woken idle shard can therefore never send into a peer's
+ * past. There is no global barrier inside a run; shards only park when
+ * their window is exhausted.
+ */
+
+#ifndef SMART_SIM_WIRE_HPP
+#define SMART_SIM_WIRE_HPP
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace smart::sim {
+
+class Simulator;
+class ShardGroup;
+class ShardLink;
+
+/**
+ * One timestamped message crossing a simulated wire. Type-erased like
+ * EventFn, but with a larger inline budget (an RNIC request/response
+ * packet, including an embedded WorkReq and payload vector, must fit)
+ * and an explicit delivery key used for deterministic ordering.
+ *
+ * deliver() consumes the payload: the callable is moved out, the inline
+ * object destroyed, and then the callable invoked (it may recurse into
+ * schedule/send paths).
+ */
+class WireMsg
+{
+  public:
+    static constexpr std::size_t kPayloadBytes = 216;
+    static constexpr std::size_t kPayloadAlign = 16;
+
+    /** Delivery key, ordered lexicographically (dtime, srcId, seq). */
+    Time dtime = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t srcId = 0;
+
+    WireMsg() noexcept = default;
+    WireMsg(WireMsg &&o) noexcept { moveFrom(o); }
+
+    WireMsg &
+    operator=(WireMsg &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    WireMsg(const WireMsg &) = delete;
+    WireMsg &operator=(const WireMsg &) = delete;
+    ~WireMsg() { reset(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Build a message whose delivery runs @p payload's operator(). */
+    template <typename P>
+    static WireMsg
+    make(Time dtime, std::uint32_t src_id, std::uint64_t seq, P &&payload)
+    {
+        using Fn = std::remove_cvref_t<P>;
+        static_assert(sizeof(Fn) <= kPayloadBytes,
+                      "wire payload exceeds the inline budget; shrink the "
+                      "packet or carry a pointer");
+        static_assert(alignof(Fn) <= kPayloadAlign,
+                      "wire payload over-aligned for inline storage");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "wire payload must be nothrow-movable");
+        WireMsg m;
+        m.dtime = dtime;
+        m.srcId = src_id;
+        m.seq = seq;
+        ::new (static_cast<void *>(m.buf_)) Fn(std::forward<P>(payload));
+        m.ops_ = &opsFor<Fn>;
+        return m;
+    }
+
+    /** Run the payload and leave this message empty. */
+    void
+    deliver()
+    {
+        assert(ops_ != nullptr);
+        const Ops *ops = ops_;
+        ops_ = nullptr;
+        ops->deliver(buf_);
+    }
+
+    /** True if this key orders before @p o under (dtime, srcId, seq). */
+    bool
+    before(const WireMsg &o) const noexcept
+    {
+        if (dtime != o.dtime)
+            return dtime < o.dtime;
+        if (srcId != o.srcId)
+            return srcId < o.srcId;
+        return seq < o.seq;
+    }
+
+  private:
+    struct Ops
+    {
+        /** Move payload out, destroy it in place, invoke the copy. */
+        void (*deliver)(void *src);
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *src) noexcept;
+    };
+
+    template <typename Fn>
+    static void
+    deliverFn(void *src)
+    {
+        Fn *s = static_cast<Fn *>(src);
+        Fn local(std::move(*s));
+        s->~Fn();
+        local();
+    }
+
+    template <typename Fn>
+    static void
+    relocateFn(void *dst, void *src) noexcept
+    {
+        Fn *s = static_cast<Fn *>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    destroyFn(void *src) noexcept
+    {
+        static_cast<Fn *>(src)->~Fn();
+    }
+
+    template <typename Fn>
+    static constexpr Ops opsFor{&deliverFn<Fn>, &relocateFn<Fn>,
+                                &destroyFn<Fn>};
+
+    void
+    moveFrom(WireMsg &o) noexcept
+    {
+        dtime = o.dtime;
+        seq = o.seq;
+        srcId = o.srcId;
+        ops_ = o.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, o.buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(kPayloadAlign) unsigned char buf_[kPayloadBytes];
+    const Ops *ops_ = nullptr;
+};
+
+/**
+ * Per-Simulator holding pen for in-flight wire messages, ordered by
+ * (dtime, srcId, seq). The run loop injects messages into the event
+ * queue only when the local clock first reaches their delivery time —
+ * never eagerly — so injected events draw their local FIFO sequence at a
+ * moment that is invariant across shard assignments.
+ */
+class WireInbox
+{
+  public:
+    WireInbox() = default;
+    WireInbox(const WireInbox &) = delete;
+    WireInbox &operator=(const WireInbox &) = delete;
+
+    ~WireInbox()
+    {
+        for (Node *b : blocks_)
+            ::operator delete[](reinterpret_cast<unsigned char *>(b));
+    }
+
+    /** Earliest pending delivery time, or kTimeNever when empty. */
+    Time minTime() const noexcept { return min_; }
+
+    bool empty() const noexcept { return heap_.empty(); }
+
+    /** Park @p m until the destination clock reaches m.dtime. */
+    void
+    push(WireMsg &&m)
+    {
+        Node *n = acquireNode();
+        n->msg = std::move(m);
+        heap_.push_back(n);
+        siftUp(heap_.size() - 1);
+        min_ = heap_.front()->msg.dtime;
+    }
+
+    /**
+     * Inject every pending message with dtime <= @p t into @p q as an
+     * ordinary event at its delivery time, in (dtime, srcId, seq) order.
+     * Call only when the run loop has exhausted all local events
+     * strictly before the inbox minimum.
+     */
+    void
+    injectUpTo(Time t, EventQueue &q)
+    {
+        while (!heap_.empty() && heap_.front()->msg.dtime <= t) {
+            Node *n = popMin();
+            struct Inject
+            {
+                WireInbox *inbox;
+                Node *node;
+
+                void
+                operator()()
+                {
+                    Node *nd = node;
+                    WireInbox *ib = inbox;
+                    nd->msg.deliver();
+                    ib->releaseNode(nd);
+                }
+            };
+            q.scheduleAt(n->msg.dtime, Inject{this, n});
+        }
+        min_ = heap_.empty() ? kTimeNever : heap_.front()->msg.dtime;
+    }
+
+    /** Pre-grow node and heap storage (alloc-sensitive callers). */
+    void
+    reserve(std::size_t n)
+    {
+        heap_.reserve(n);
+        free_.reserve(n);
+        while (free_.size() < n)
+            grow();
+    }
+
+  private:
+    struct Node
+    {
+        WireMsg msg;
+    };
+
+    Node *
+    acquireNode()
+    {
+        if (free_.empty())
+            grow();
+        Node *n = free_.back();
+        free_.pop_back();
+        return n;
+    }
+
+    void
+    releaseNode(Node *n) noexcept
+    {
+        // free_ was reserved to cover every node ever handed out, so this
+        // push_back cannot allocate.
+        free_.push_back(n);
+    }
+
+    void
+    grow()
+    {
+        constexpr std::size_t kBlock = 64;
+        auto *raw = static_cast<unsigned char *>(
+            ::operator new[](kBlock * sizeof(Node)));
+        Node *arr = reinterpret_cast<Node *>(raw);
+        blocks_.push_back(arr);
+        // Capacity covers every node ever carved, so releaseNode() can
+        // return any outstanding node without reallocating.
+        free_.reserve(blocks_.size() * kBlock);
+        for (std::size_t i = 0; i < kBlock; ++i)
+            free_.push_back(::new (static_cast<void *>(arr + i)) Node{});
+    }
+
+    Node *
+    popMin()
+    {
+        Node *top = heap_.front();
+        Node *last = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) {
+            heap_.front() = last;
+            siftDown(0);
+        }
+        return top;
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        while (i > 0) {
+            std::size_t p = (i - 1) / 2;
+            if (!heap_[i]->msg.before(heap_[p]->msg))
+                break;
+            std::swap(heap_[i], heap_[p]);
+            i = p;
+        }
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t l = 2 * i + 1;
+            if (l >= n)
+                break;
+            std::size_t m = l;
+            if (l + 1 < n && heap_[l + 1]->msg.before(heap_[l]->msg))
+                m = l + 1;
+            if (!heap_[m]->msg.before(heap_[i]->msg))
+                break;
+            std::swap(heap_[i], heap_[m]);
+            i = m;
+        }
+    }
+
+    std::vector<Node *> heap_;
+    std::vector<Node *> free_;
+    std::vector<Node *> blocks_;
+    Time min_ = kTimeNever;
+};
+
+/**
+ * Bounded SPSC ring carrying WireMsgs between one ordered shard pair.
+ * Producer and consumer indices live on separate cache lines; payloads
+ * transfer ownership through the release store on tail_ / acquire load
+ * on head_ pair.
+ */
+class SpscRing
+{
+  public:
+    static constexpr std::size_t kCapacity = 1024;
+
+    SpscRing() = default;
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    ~SpscRing()
+    {
+        WireMsg m;
+        while (tryPop(m))
+            m = WireMsg{};
+    }
+
+    bool
+    tryPush(WireMsg &&m)
+    {
+        std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        std::uint64_t h = head_.load(std::memory_order_acquire);
+        if (t - h == kCapacity)
+            return false;
+        ::new (slot(t)) WireMsg(std::move(m));
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    tryPop(WireMsg &out)
+    {
+        std::uint64_t h = head_.load(std::memory_order_relaxed);
+        std::uint64_t t = tail_.load(std::memory_order_acquire);
+        if (h == t)
+            return false;
+        WireMsg *m = std::launder(reinterpret_cast<WireMsg *>(slot(h)));
+        out = std::move(*m);
+        m->~WireMsg();
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Producer-side or consumer-side occupancy probe (racy, advisory). */
+    bool
+    maybeNonEmpty() const noexcept
+    {
+        return head_.load(std::memory_order_relaxed) !=
+               tail_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void *
+    slot(std::uint64_t i) noexcept
+    {
+        return buf_ + (i % kCapacity) * sizeof(WireMsg);
+    }
+
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(alignof(WireMsg)) unsigned char buf_[kCapacity *
+                                                 sizeof(WireMsg)];
+};
+
+/**
+ * Per-shard handle into a ShardGroup: inbound rings, the published
+ * lower-bound slot, and the horizon-wait machinery. Installed on the
+ * shard's Simulator by ShardGroup; absent (nullptr) on standalone
+ * Simulators, whose run loops then skip all synchronization.
+ */
+class ShardLink
+{
+  public:
+    std::uint32_t shardIndex() const noexcept { return me_; }
+    Time lookahead() const noexcept;
+
+    /** min over all other shards' published lower bounds (acquire). */
+    Time minOtherLb() const noexcept;
+
+    /** Drain every inbound ring into @p inbox. */
+    void pollRings(WireInbox &inbox);
+
+    /**
+     * Publish a monotone lower bound on this shard's future send times:
+     * no message from this shard will carry dtime < t + lookahead.
+     * No-op unless t exceeds the previously published bound.
+     */
+    void publishLb(Time t);
+
+    /**
+     * Enqueue @p m to shard @p dst. Blocks (draining own inbound rings
+     * to break push-push cycles) while the ring is full.
+     */
+    void sendRemote(std::uint32_t dst, WireMsg &&m, WireInbox &own_inbox);
+
+    /**
+     * Park until another shard's lb rises above @p x_prev or an inbound
+     * ring becomes non-empty. Spin/yield first, then a timed CV wait
+     * (publishers notify when waiters are registered).
+     */
+    void waitForChange(Time x_prev);
+
+  private:
+    friend class ShardGroup;
+    ShardLink(ShardGroup *g, std::uint32_t me) : g_(g), me_(me) {}
+
+    bool anyInbound() const noexcept;
+
+    ShardGroup *g_;
+    std::uint32_t me_;
+};
+
+/**
+ * A set of Simulators (one per shard) advanced together on real host
+ * threads under the conservative horizon protocol. Shard 0 always runs
+ * on the caller's thread; shards 1..n-1 on persistent workers parked
+ * between phases. With size()==1 no threads are created and runUntil()
+ * is a plain inline call — the single-shard hot path is byte- and
+ * perf-identical to an unsharded Simulator.
+ *
+ * A "phase" is one runUntil() call: between phases every worker is
+ * parked, so the caller may freely mutate any shard's state (setup,
+ * metric resets, table loads) exactly as single-threaded code would.
+ */
+class ShardGroup
+{
+  public:
+    /**
+     * @param shards    number of shards (>= 1)
+     * @param lookahead minimum cross-shard wire latency, ns (> 0 when
+     *                  shards > 1; every wire send must carry
+     *                  dtime >= sender now + lookahead)
+     */
+    ShardGroup(std::uint32_t shards, Time lookahead);
+    ~ShardGroup();
+
+    ShardGroup(const ShardGroup &) = delete;
+    ShardGroup &operator=(const ShardGroup &) = delete;
+
+    std::uint32_t size() const noexcept { return n_; }
+    Time lookahead() const noexcept { return lookahead_; }
+
+    Simulator &shard(std::uint32_t i);
+    const Simulator &shard(std::uint32_t i) const;
+
+    /** Advance every shard to @p deadline (clocks equal on return). */
+    void runUntil(Time deadline);
+
+  private:
+    friend class ShardLink;
+
+    struct alignas(64) LbSlot
+    {
+        std::atomic<Time> lb{0};
+    };
+
+    SpscRing &channel(std::uint32_t src, std::uint32_t dst);
+    void workerMain(std::uint32_t idx);
+
+    std::uint32_t n_;
+    Time lookahead_;
+    std::vector<std::unique_ptr<Simulator>> sims_;
+    std::vector<std::unique_ptr<ShardLink>> links_;
+    std::vector<LbSlot> lbs_;
+    /** channels_[dst * n_ + src]; unused diagonal stays null. */
+    std::vector<std::unique_ptr<SpscRing>> channels_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::uint64_t phaseGen_ = 0;
+    Time phaseDeadline_ = 0;
+    std::uint32_t phaseDone_ = 0;
+    bool stop_ = false;
+    std::atomic<std::uint32_t> waiters_{0};
+    std::vector<std::thread> threads_;
+};
+
+/**
+ * A named sender on the wire: owns a process-globally ordered source id
+ * and the per-source delivery sequence. Construction order (always on
+ * the setup thread) fixes srcId, so ids — and with them all same-time
+ * delivery tie-breaks — do not depend on shard assignment.
+ */
+class WireEndpoint
+{
+  public:
+    explicit WireEndpoint(Simulator &sim) : sim_(sim), srcId_(nextId()) {}
+
+    WireEndpoint(const WireEndpoint &) = delete;
+    WireEndpoint &operator=(const WireEndpoint &) = delete;
+
+    std::uint32_t srcId() const noexcept { return srcId_; }
+
+    /**
+     * Send @p payload for delivery on @p dst's shard at absolute virtual
+     * time @p dtime (>= sender now + group lookahead when @p dst is on
+     * another shard). The payload's operator() runs on the destination
+     * shard inside the injected delivery event.
+     */
+    template <typename P>
+    void
+    send(Simulator &dst, Time dtime, P &&payload)
+    {
+        route(dst,
+              WireMsg::make(dtime, srcId_, seq_++, std::forward<P>(payload)));
+    }
+
+  private:
+    static std::uint32_t
+    nextId() noexcept
+    {
+        static std::atomic<std::uint32_t> counter{0};
+        return counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void route(Simulator &dst, WireMsg &&m);
+
+    Simulator &sim_;
+    std::uint32_t srcId_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace smart::sim
+
+#endif // SMART_SIM_WIRE_HPP

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Sharded-engine tests: deterministic wire-delivery ordering under the
+ * (dtime, srcId, seq) key, liveness of the conservative horizon protocol
+ * when shards go idle, shard-count invariance of a ShardGroup toy
+ * workload, and byte-identical full-stack Testbed output at shards=1
+ * vs shards=4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/testbed.hpp"
+#include "sim/simulator.hpp"
+#include "sim/wire.hpp"
+#include "smart/smart_ctx.hpp"
+
+using namespace smart;
+using namespace smart::harness;
+using sim::ShardGroup;
+using sim::Simulator;
+using sim::Task;
+using sim::Time;
+using sim::WireEndpoint;
+
+namespace {
+
+// ------------------------------------------------- wire delivery ordering
+
+struct Push
+{
+    std::vector<std::string> *log;
+    const char *tag;
+
+    void operator()() { log->push_back(tag); }
+};
+
+TEST(WireOrdering, DeliversByTimeThenSourceThenSeq)
+{
+    Simulator sim;
+    // Construction order fixes the srcId order: a's id < b's id.
+    WireEndpoint a(sim);
+    WireEndpoint b(sim);
+    ASSERT_LT(a.srcId(), b.srcId());
+
+    std::vector<std::string> log;
+    b.send(sim, 1000, Push{&log, "b1"});
+    a.send(sim, 1000, Push{&log, "a1"});
+    a.send(sim, 500, Push{&log, "a0"});
+    b.send(sim, 1000, Push{&log, "b2"});
+    sim.runUntil(2000);
+
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0], "a0"); // earliest dtime first
+    EXPECT_EQ(log[1], "a1"); // same dtime: lower srcId wins
+    EXPECT_EQ(log[2], "b1"); // same dtime + srcId: FIFO by seq
+    EXPECT_EQ(log[3], "b2");
+}
+
+TEST(WireOrdering, SameSimDeliveryInterleavesWithLocalEvents)
+{
+    Simulator sim;
+    WireEndpoint ep(sim);
+    std::vector<std::string> log;
+    sim.scheduleAt(999, [&log] { log.push_back("local999"); });
+    sim.scheduleAt(1001, [&log] { log.push_back("local1001"); });
+    ep.send(sim, 1000, Push{&log, "wire1000"});
+    sim.runUntil(2000);
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0], "local999");
+    EXPECT_EQ(log[1], "wire1000");
+    EXPECT_EQ(log[2], "local1001");
+}
+
+// -------------------------------------------------- horizon-stall liveness
+
+Task
+tickLooper(Simulator &sim, std::uint64_t *ticks)
+{
+    for (;;) {
+        co_await sim.delay(100);
+        ++*ticks;
+    }
+}
+
+struct Bump
+{
+    std::uint64_t *counter;
+
+    void operator()() { ++*counter; }
+};
+
+Task
+pingEvery(Simulator &sim, WireEndpoint &ep, Simulator &dst,
+          std::uint64_t *delivered)
+{
+    for (;;) {
+        co_await sim.delay(400);
+        ep.send(dst, sim.now() + 250, Bump{delivered});
+    }
+}
+
+TEST(ShardGroupLiveness, CompletesWithIdleShard)
+{
+    // Shard 1 has no local work at all: the busy shard must not stall
+    // waiting for an idle neighbour's horizon to advance.
+    ShardGroup group(2, 250);
+    std::uint64_t ticks = 0;
+    group.shard(0).spawn(tickLooper(group.shard(0), &ticks));
+    group.runUntil(sim::msec(1));
+    EXPECT_EQ(group.shard(0).now(), sim::msec(1));
+    EXPECT_EQ(group.shard(1).now(), sim::msec(1));
+    EXPECT_GE(ticks, 1'000'000u / 100u - 1);
+}
+
+TEST(ShardGroupLiveness, DeliversIntoOtherwiseIdleShard)
+{
+    ShardGroup group(2, 250);
+    std::uint64_t delivered = 0;
+    auto ep = std::make_unique<WireEndpoint>(group.shard(0));
+    group.shard(0).spawn(
+        pingEvery(group.shard(0), *ep, group.shard(1), &delivered));
+    group.runUntil(sim::msec(1));
+    // 1 ms / 400 ns cadence, delivery 250 ns later: ~2499 arrive in time.
+    EXPECT_GE(delivered, 2'400u);
+}
+
+// --------------------------------------- shard-count-invariant toy group
+
+/** Total events processed by an 8-blade looper+pinger toy on N shards. */
+std::pair<std::uint64_t, std::uint64_t>
+runToy(std::uint32_t nshards)
+{
+    constexpr std::uint32_t kBlades = 8;
+    ShardGroup group(nshards, 250);
+    std::vector<std::uint64_t> ticks(kBlades, 0);
+    std::vector<std::uint64_t> delivered(kBlades, 0);
+    std::vector<std::unique_ptr<WireEndpoint>> eps;
+    for (std::uint32_t b = 0; b < kBlades; ++b)
+        eps.push_back(
+            std::make_unique<WireEndpoint>(group.shard(b % group.size())));
+    for (std::uint32_t b = 0; b < kBlades; ++b) {
+        Simulator &s = group.shard(b % group.size());
+        s.spawn(tickLooper(s, &ticks[b]));
+        std::uint32_t nb = (b + 1) % kBlades;
+        s.spawn(pingEvery(s, *eps[b], group.shard(nb % group.size()),
+                          &delivered[nb]));
+    }
+    group.runUntil(sim::msec(1));
+    std::uint64_t events = 0;
+    for (std::uint32_t s = 0; s < group.size(); ++s)
+        events += group.shard(s).eventsProcessed();
+    std::uint64_t total_delivered = 0;
+    for (std::uint64_t d : delivered)
+        total_delivered += d;
+    return {events, total_delivered};
+}
+
+TEST(ShardGroupDeterminism, EventAndDeliveryTotalsMatchSingleShard)
+{
+    auto [e1, d1] = runToy(1);
+    EXPECT_GT(e1, 0u);
+    EXPECT_GT(d1, 0u);
+    for (std::uint32_t n : {2u, 4u, 8u}) {
+        auto [en, dn] = runToy(n);
+        EXPECT_EQ(en, e1) << n << " shards changed the event total";
+        EXPECT_EQ(dn, d1) << n << " shards changed the delivery total";
+    }
+}
+
+// ------------------------------------------- full-stack Testbed identity
+
+Task
+accessWorker(SmartCtx &ctx, std::uint64_t &ops)
+{
+    SmartRuntime &rt = ctx.runtime();
+    std::uint8_t *buf = ctx.scratch(64);
+    std::uint32_t i = ctx.thread().id() * 16 + ctx.coroIndex();
+    for (;;) {
+        co_await ctx.opBegin();
+        // Alternate target blades so traffic crosses shards.
+        RemotePtr p = rt.ptr(i % 2, 64 * (i % 512));
+        if (i % 3 == 0) {
+            co_await ctx.access(p, AccessOp::write(ConstMemSpan{buf, 64}));
+        } else {
+            co_await ctx.access(p, AccessOp::read(MemSpan{buf, 64}));
+        }
+        if (ctx.failed())
+            ctx.clearError();
+        ctx.opEnd();
+        ++ops;
+        ++i;
+    }
+}
+
+/** Run the full SMART stack on @p shards shards; return a fingerprint. */
+std::pair<std::string, std::uint64_t>
+runStack(std::uint32_t shards)
+{
+    TestbedConfig cfg;
+    cfg.computeBlades = 2;
+    cfg.memoryBlades = 2;
+    cfg.threadsPerBlade = 2;
+    cfg.bladeBytes = 1ull << 20;
+    cfg.smart = presets::full();
+    cfg.smart.corosPerThread = 2;
+    cfg.shards = shards;
+    Testbed tb(cfg);
+    std::vector<std::uint64_t> ops(
+        tb.numComputeBlades() * cfg.threadsPerBlade * 2, 0);
+    std::size_t w = 0;
+    for (std::uint32_t c = 0; c < tb.numComputeBlades(); ++c) {
+        SmartRuntime &rt = tb.compute(c);
+        for (std::uint32_t t = 0; t < rt.numThreads(); ++t) {
+            for (std::uint32_t k = 0; k < 2; ++k) {
+                std::uint64_t *slot = &ops[w++];
+                rt.spawnWorker(t, [slot](SmartCtx &ctx) {
+                    return accessWorker(ctx, *slot);
+                });
+            }
+        }
+    }
+    tb.runUntil(sim::msec(2));
+    std::uint64_t total_ops = 0;
+    for (std::uint64_t o : ops)
+        total_ops += o;
+    EXPECT_GT(total_ops, 0u);
+    return {tb.snapshot().toJson().dump(), total_ops};
+}
+
+TEST(TestbedSharding, ByteIdenticalAcrossShardCounts)
+{
+    auto [json1, ops1] = runStack(1);
+    auto [json4, ops4] = runStack(4);
+    EXPECT_EQ(ops1, ops4);
+    EXPECT_EQ(json1, json4);
+}
+
+TEST(TestbedSharding, ClampsShardsToBladeCount)
+{
+    TestbedConfig cfg;
+    cfg.computeBlades = 2;
+    cfg.memoryBlades = 2;
+    cfg.threadsPerBlade = 1;
+    cfg.bladeBytes = 1ull << 20;
+    cfg.smart = presets::baseline();
+    cfg.shards = 64;
+    Testbed tb(cfg);
+    EXPECT_EQ(tb.shards(), 4u);
+    tb.runUntil(sim::usec(10));
+}
+
+} // namespace

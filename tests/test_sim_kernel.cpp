@@ -674,9 +674,7 @@ TEST(Determinism, SmartTestbedMetricsAreByteIdentical)
 
 TEST(PerfIntrospection, CountsEventsAndDepth)
 {
-    KernelPerf &kp = processKernelPerf();
-    std::uint64_t events_before = kp.eventsProcessed;
-    std::uint64_t ring_before = kp.ringInserts;
+    KernelPerf before = collectKernelPerf();
 
     Simulator sim;
     for (int i = 0; i < 32; ++i)
@@ -688,9 +686,11 @@ TEST(PerfIntrospection, CountsEventsAndDepth)
     EXPECT_GE(sim.peakQueueDepth(), 1u);
     EXPECT_LE(sim.peakQueueDepth(), 32u);
     // The process-wide tally aggregates this Simulator's work.
-    EXPECT_GE(kp.eventsProcessed - events_before, 32u);
-    EXPECT_GE(kp.ringInserts - ring_before, 32u);
-    EXPECT_GE(kp.peakQueueDepth, sim.peakQueueDepth());
+    KernelPerf after = collectKernelPerf();
+    EXPECT_GE(after.eventsProcessed - before.eventsProcessed, 32u);
+    EXPECT_GE(after.ringInserts - before.ringInserts, 32u);
+    EXPECT_GE(after.peakQueueDepth, sim.peakQueueDepth());
+    EXPECT_GE(after.shards.size(), 1u);
 }
 
 // ------------------------------------------------------ allocation audit

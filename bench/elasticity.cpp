@@ -123,6 +123,7 @@ main(int argc, char **argv)
     if (cap != nullptr) {
         cfg.traceSampleNs = sim::usec(500);
         cli.configureSpans(cfg);
+        cli.configureTimeline(cfg);
     }
     Testbed tb(cfg);
     SmartRuntime &rt = tb.compute(0);
@@ -170,7 +171,7 @@ main(int argc, char **argv)
     std::vector<std::uint64_t> opsPerMs;
     std::uint64_t prevOps = 0;
     for (Time t = bucket; t <= run_end; t += bucket) {
-        tb.sim().runUntil(t);
+        tb.runUntil(t);
         std::uint64_t now = rt.appOps.value();
         opsPerMs.push_back(now - prevOps);
         prevOps = now;

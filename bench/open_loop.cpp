@@ -82,9 +82,11 @@ makeRig(const std::string &app, const Shape &sh, BenchCli &cli,
     cfg.smart.withOverloadWatermarks(48, 96);
     cli.configureCache(cfg.smart);
     cfg.smart.corosPerThread = sh.coros;
+    cli.configureShards(cfg);
     if (cap != nullptr) {
         cfg.traceSampleNs = sim::usec(500);
         cli.configureSpans(cfg);
+        cli.configureTimeline(cfg);
     }
     rig.tb = std::make_unique<Testbed>(cfg);
     Testbed &tb = *rig.tb;
@@ -210,10 +212,10 @@ measureCapacity(const std::string &app, const Shape &sh, BenchCli &cli,
             });
         }
     }
-    tb.sim().runUntil(sh.warmupNs);
+    tb.runUntil(sh.warmupNs);
     std::uint64_t ops0 = rt.appOps.value();
     rt.opLatency.reset();
-    tb.sim().runUntil(sh.warmupNs + sh.measureNs);
+    tb.runUntil(sh.warmupNs + sh.measureNs);
     std::uint64_t ops = rt.appOps.value() - ops0;
     mops = static_cast<double>(ops) /
            (static_cast<double>(sh.measureNs) / 1000.0);
@@ -253,12 +255,12 @@ runPoint(const std::string &app, const Shape &sh, double frac,
     OpenLoopDriver driver(tb, ocfg, rig.service);
     driver.start(sh.coros);
 
-    tb.sim().runUntil(sh.warmupNs);
+    tb.runUntil(sh.warmupNs);
     driver.resetWindow();
     rt.opLatency.reset();
     std::uint64_t ladder0 = rt.shedPrefetchCount() + rt.chunkedPostCount() +
                             rt.opDelayCount();
-    tb.sim().runUntil(sh.warmupNs + sh.measureNs);
+    tb.runUntil(sh.warmupNs + sh.measureNs);
 
     PointResult r;
     r.offeredX = frac;
@@ -524,10 +526,14 @@ main(int argc, char **argv)
         cli.configureCache(cfg.smart);
         // +1 slot on thread 0 for the plane's migration worker.
         cfg.smart.corosPerThread = sh.coros + 1;
+        // Membership + fault planes keep the churn arm single-shard
+        // (both abort on a sharded simulation), so --shards is not
+        // applied here.
         RunCapture *cap = cli.nextCapture("churn/0.9x");
         if (cap != nullptr) {
             cfg.traceSampleNs = sim::usec(500);
             cli.configureSpans(cfg);
+            cli.configureTimeline(cfg);
         }
         Testbed tb(cfg);
         SmartRuntime &rt = tb.compute(0);
@@ -573,10 +579,15 @@ main(int argc, char **argv)
         const Time drain_at = warm + sim::msec(2);
         const Time rejoin_at = warm + sim::msec(5);
         const Time end = warm + sim::msec(8);
-        tb.sim().schedule(drain_at, [&plane] { plane.drain(2); });
-        tb.sim().schedule(rejoin_at, [&plane] { plane.rejoin(2); });
+        // Drive the drain/rejoin cycle through the fault plane's churn
+        // target: same virtual times as scheduling plane.drain/rejoin
+        // directly, but the event is now a first-class injected fault
+        // (counted, recorded, and annotated on the time series).
+        plane.enableChurnTargets();
+        tb.faultPlane().oneShot(drain_at, sim::FaultKind::Crash,
+                                "drain.mb2", rejoin_at - drain_at);
 
-        tb.sim().runUntil(warm);
+        tb.runUntil(warm);
         driver.resetWindow();
 
         struct Phase
@@ -590,7 +601,7 @@ main(int argc, char **argv)
         sim::Table ct({"phase", "completed_kops", "p99_ns", "rejected"});
         for (const Phase &ph : phases) {
             driver.resetWindow();
-            tb.sim().runUntil(ph.b);
+            tb.runUntil(ph.b);
             const OpenLoopDriver::TenantStats &s = driver.stats(0);
             double kops = static_cast<double>(s.completed.value()) /
                           (static_cast<double>(ph.b - ph.a) / 1e6);

@@ -4,11 +4,17 @@
 Usage:
     check_bench_json.py REPORT.json
     check_bench_json.py --run BENCH_BINARY [ARGS...]
+    check_bench_json.py --same-timeseries A.json B.json
 
 With --run, executes the bench with --quick --json into a temp directory
 and validates the report it writes. Exits 0 when the report is valid,
 1 with a diagnostic otherwise. Used both as a ctest and for eyeballing
 reports by hand.
+
+With --same-timeseries, checks that two reports carry identical
+windowed time-series blocks for every common run label (the shard-count
+byte-identity gate: a --shards 4 run must sample exactly what the
+--shards 1 run did).
 """
 
 import json
@@ -90,6 +96,10 @@ def validate(report):
         if spans is not None:
             validate_spans(run["label"], spans)
 
+        ts = run.get("timeseries")
+        if ts is not None:
+            validate_timeseries(run["label"], ts)
+
         trace = run.get("trace")
         if trace is None:
             continue
@@ -164,6 +174,119 @@ def validate_spans(label, spans):
         check(attributed == cov["attributed_ns"],
               f"run {label}: non-overlap stage totals {attributed} != "
               f"coverage.attributed_ns {cov['attributed_ns']}")
+
+
+TS_ANNOTATION_KINDS = {"fault", "membership", "degradation", "cache", "slo"}
+
+
+def validate_timeseries(label, ts):
+    """Windowed time-series blocks (--ts-window) must be self-consistent:
+    a positive window, a strictly increasing sample axis, every series'
+    points anchored at a valid start window, and annotations in
+    deterministic (time, kind, target, detail) order."""
+    check(isinstance(ts, dict),
+          f"run {label}: timeseries block must be an object")
+    for key in ("window_ns", "t_ns", "series", "annotations"):
+        check(key in ts, f"run {label}: timeseries block missing {key!r}")
+    check(isinstance(ts["window_ns"], int) and ts["window_ns"] > 0,
+          f"run {label}: timeseries.window_ns must be a positive int")
+    t_ns = ts["t_ns"]
+    check(isinstance(t_ns, list) and t_ns,
+          f"run {label}: timeseries.t_ns must be a non-empty list")
+    check(all(b > a for a, b in zip(t_ns, t_ns[1:])),
+          f"run {label}: timeseries.t_ns not strictly increasing")
+    check(isinstance(ts["series"], list) and ts["series"],
+          f"run {label}: timeseries.series must be a non-empty list")
+    for s in ts["series"]:
+        name = s.get("name")
+        check(isinstance(name, str) and name,
+              f"run {label}: timeseries series missing name: {s!r}")
+        kind = s.get("kind")
+        check(kind in ("counter", "gauge", "histogram"),
+              f"run {label}: series {name}: bad kind {kind!r}")
+        check(isinstance(s.get("labels"), dict),
+              f"run {label}: series {name}: labels must be an object")
+        start = s.get("start")
+        points = s.get("points")
+        check(isinstance(start, int) and 0 <= start < len(t_ns),
+              f"run {label}: series {name}: start {start!r} out of range")
+        check(isinstance(points, list),
+              f"run {label}: series {name}: points must be a list")
+        check(start + len(points) == len(t_ns),
+              f"run {label}: series {name}: start {start} + "
+              f"{len(points)} points != {len(t_ns)} samples")
+        if kind == "histogram":
+            for p in points:
+                check(isinstance(p, dict),
+                      f"run {label}: series {name}: histogram point "
+                      f"must be an object: {p!r}")
+                for key in ("count", "mean", "min", "max",
+                            "p50", "p99", "p999"):
+                    check(key in p,
+                          f"run {label}: series {name}: histogram point "
+                          f"missing {key!r}")
+                if p["count"] > 0:
+                    check(p["min"] <= p["p50"] <= p["p99"] <= p["p999"]
+                          <= p["max"],
+                          f"run {label}: series {name}: windowed "
+                          f"percentiles not ordered: {p!r}")
+    anns = ts["annotations"]
+    check(isinstance(anns, list),
+          f"run {label}: timeseries.annotations must be a list")
+    prev = None
+    for a in anns:
+        for key in ("t_ns", "kind", "target", "detail"):
+            check(key in a,
+                  f"run {label}: annotation missing {key!r}: {a!r}")
+        check(a["kind"] in TS_ANNOTATION_KINDS,
+              f"run {label}: unknown annotation kind {a['kind']!r}")
+        key = (a["t_ns"], a["kind"], a["target"], a["detail"])
+        check(prev is None or key >= prev,
+              f"run {label}: annotations out of deterministic order "
+              f"at {a!r}")
+        prev = key
+
+
+def series_points(ts, name, label_filter=None):
+    """Per-window values of every matching series, summed element-wise
+    and left-padded with zeros to the full t_ns axis."""
+    total = [0.0] * len(ts["t_ns"])
+    for s in ts["series"]:
+        if s["name"] != name:
+            continue
+        if label_filter and any(s["labels"].get(k) != v
+                                for k, v in label_filter.items()):
+            continue
+        for i, v in enumerate(s["points"]):
+            total[s["start"] + i] += float(v)
+    return total
+
+
+def annotation_times(ts, kind, detail_prefix=""):
+    return [a["t_ns"] for a in ts["annotations"]
+            if a["kind"] == kind and a["detail"].startswith(detail_prefix)]
+
+
+def check_windowed_recovery(label, ts, counter_name, event_ns,
+                            k_windows=8, band=0.9, label_filter=None):
+    """Time-series recovery gate: per-window deltas of @counter_name must
+    re-enter @band x their pre-event steady state within @k_windows
+    windows of the event at @event_ns."""
+    t_ns = ts["t_ns"]
+    rate = series_points(ts, counter_name, label_filter)
+    check(any(v > 0 for v in rate),
+          f"{label}: no {counter_name} samples to gate recovery on")
+    event_w = next((i for i, t in enumerate(t_ns) if t >= event_ns),
+                   len(t_ns) - 1)
+    pre = [v for i, v in enumerate(rate) if i < event_w and v > 0]
+    check(pre, f"{label}: no pre-event windows before {event_ns} ns")
+    pre_mean = sum(pre) / len(pre)
+    horizon = rate[event_w + 1:event_w + 1 + k_windows]
+    check(any(v >= band * pre_mean for v in horizon),
+          f"{label}: windowed throughput never re-entered the "
+          f"{band:.0%} band within {k_windows} windows of the event at "
+          f"{event_ns} ns (pre mean {pre_mean:.1f}, "
+          f"post {[round(v, 1) for v in horizon]})")
 
 
 def validate_perf(report):
@@ -356,6 +479,26 @@ def validate_elasticity(report):
     ratio = float(row[cols["post_over_pre"]])
     check(ratio >= 0.9, f"elasticity post/pre ratio {ratio} < 0.9")
 
+    # Windowed recovery gate (runs with --ts-window): throughput must
+    # re-enter the 90% band within 8 windows of the drain annotation —
+    # a time-resolved gate the end-of-run ratio above cannot express.
+    for run in report["runs"]:
+        ts = run.get("timeseries")
+        if ts is None:
+            continue
+        drains = annotation_times(ts, "membership", "drain epoch=")
+        check(drains,
+              f"run {run['label']}: no drain membership annotation")
+        # The quick run's worker depth never crosses the 48/96 overload
+        # watermarks, so "degradation" is legitimately absent here (the
+        # open_loop knee + churn union covers the >= 3-kind requirement).
+        kinds = {a["kind"] for a in ts["annotations"]}
+        check({"fault", "membership"} <= kinds,
+              f"run {run['label']}: annotation kinds {sorted(kinds)} "
+              "must include fault + membership")
+        check_windowed_recovery(f"elasticity run {run['label']}", ts,
+                                "app.ops", drains[0])
+
 
 def validate_open_loop(report):
     """Knee curves must be well-formed: a monotone offered-load axis,
@@ -437,6 +580,56 @@ def validate_open_loop(report):
     check(saw_tenant_metrics,
           "no run carries smart.tenant.offered + smart.tenant.latency_ns")
 
+    # ---- time-series gates (runs with --ts-window) ----
+    ts_runs = {run["label"]: run["timeseries"]
+               for run in report["runs"] if run.get("timeseries")}
+    if ts_runs:
+        for label, ts in ts_runs.items():
+            ts_names = {s["name"] for s in ts["series"]}
+            for name in ("smart.tenant.admitted", "smart.tenant.completed",
+                         "smart.tenant.violation_fraction",
+                         "smart.slo.burn_rate"):
+                check(name in ts_names,
+                      f"run {label}: timeseries missing {name} series")
+
+        # Union of annotation kinds across runs: overload arms emit
+        # degradation, churn adds fault + membership. The >= 3-kind
+        # requirement therefore only applies to --churn reports.
+        kinds = {a["kind"] for ts in ts_runs.values()
+                 for a in ts["annotations"]}
+        if "open_loop_churn" in tables:
+            check({"fault", "membership"} <= kinds and len(kinds) >= 3,
+                  f"annotation kinds {sorted(kinds)} must include fault "
+                  "+ membership and span >= 3 kinds (--churn run)")
+
+        # Burn-rate enter events must fire where the measured violation
+        # fraction is unambiguously above the fast-enter threshold.
+        for label, ts in ts_runs.items():
+            tenants = slo.get(label)
+            if not tenants:
+                continue
+            worst = max((b["violation_fraction"] for b in tenants.values()
+                         if b["target_p99_ns"] > 0), default=0.0)
+            if worst >= 0.05:
+                check(annotation_times(ts, "slo", "burn-enter"),
+                      f"run {label}: violation fraction {worst:.3f} but "
+                      "no burn-enter annotation fired")
+
+        # Windowed churn recovery gate: completed-request rate re-enters
+        # the 90% band within 8 windows of the drain annotation.
+        if "open_loop_churn" in tables:
+            churn_ts = {label: ts for label, ts in ts_runs.items()
+                        if label.startswith("churn/")}
+            check(churn_ts, "churn table present but no churn run "
+                  "carries a timeseries block")
+            for label, ts in churn_ts.items():
+                drains = annotation_times(ts, "membership", "drain epoch=")
+                check(drains,
+                      f"run {label}: no drain membership annotation")
+                check_windowed_recovery(
+                    f"open_loop run {label}", ts, "smart.tenant.completed",
+                    drains[0])
+
 
 def validate_cache_crossover(report):
     """The cache tier must show the paper-shaped crossover, not just run.
@@ -500,7 +693,30 @@ def validate_cache_crossover(report):
           "no run carries a non-zero smart.cache.hits counter")
 
 
+def same_timeseries(path_a, path_b):
+    """Byte-identity gate: both reports must carry equal timeseries
+    blocks for every common run label (e.g. --shards 1 vs --shards 4)."""
+    a = json.loads(Path(path_a).read_text())
+    b = json.loads(Path(path_b).read_text())
+    ts_a = {r["label"]: r["timeseries"] for r in a.get("runs", [])
+            if r.get("timeseries")}
+    ts_b = {r["label"]: r["timeseries"] for r in b.get("runs", [])
+            if r.get("timeseries")}
+    common = sorted(set(ts_a) & set(ts_b))
+    check(common, f"no common timeseries-carrying run labels between "
+          f"{path_a} and {path_b}")
+    for label in common:
+        check(ts_a[label] == ts_b[label],
+              f"run {label}: timeseries blocks differ between "
+              f"{path_a} and {path_b}")
+    print(f"check_bench_json: OK: identical timeseries for "
+          f"{len(common)} run(s): {', '.join(common)}")
+
+
 def main(argv):
+    if len(argv) == 3 and argv[0] == "--same-timeseries":
+        same_timeseries(argv[1], argv[2])
+        return 0
     if len(argv) >= 2 and argv[0] == "--run":
         with tempfile.TemporaryDirectory() as tmp:
             out = Path(tmp) / "report.json"

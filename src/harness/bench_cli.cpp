@@ -48,8 +48,40 @@ usage(const std::string &bench, int exit_code)
           "  --cache-policy P  cache eviction policy: clock or fifo\n"
           "  --no-cache     force the cache tier off\n"
           "  --shards N     run the simulation on N parallel shards "
-          "(clamped to the blade count; byte-identical output at any N)\n";
+          "(clamped to the blade count; byte-identical output at any N)\n"
+          "  --ts-window W  windowed time-series sampling every W of "
+          "virtual time (suffix us/ms, plain = ns; implies a JSON report "
+          "and writes a per-run CSV)\n"
+          "  --ts-out PATH  concatenate every run's time-series CSV "
+          "into PATH\n";
     std::exit(exit_code);
+}
+
+/** Parse a virtual-time value: plain number = ns, us/ms suffixes. */
+sim::Time
+parseTimeNs(const std::string &bench, const char *flag,
+            const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    std::string suffix = end != nullptr ? std::string(end) : std::string();
+    sim::Time ns = static_cast<sim::Time>(v);
+    if (suffix == "us") {
+        ns = sim::usec(v);
+    } else if (suffix == "ms") {
+        ns = sim::msec(v);
+    } else if (suffix == "ns" || suffix.empty()) {
+        // plain nanoseconds
+    } else {
+        std::cerr << bench << ": " << flag << " '" << text
+                  << "' has an unknown suffix (expected ns/us/ms)\n";
+        usage(bench, 2);
+    }
+    if (ns == 0) {
+        std::cerr << bench << ": " << flag << " needs a value > 0\n";
+        usage(bench, 2);
+    }
+    return ns;
 }
 
 /** Turn a run label into a filename fragment ("SMART-HT/t0" ->
@@ -129,6 +161,11 @@ BenchCli::BenchCli(int argc, char **argv, std::string bench_name)
                 std::cerr << benchName_ << ": --shards N needs N >= 1\n";
                 usage(benchName_, 2);
             }
+        } else if (arg == "--ts-window") {
+            tsWindowNs_ = parseTimeNs(benchName_, "--ts-window",
+                                      value(i, "--ts-window"));
+        } else if (arg == "--ts-out") {
+            tsOutPath_ = value(i, "--ts-out");
         } else if (arg == "--perf") {
             perf_ = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -142,7 +179,8 @@ BenchCli::BenchCli(int argc, char **argv, std::string bench_name)
         outDir_ = ".";
     if (!flamePath_.empty() && spanSampleEvery_ == 0)
         spanSampleEvery_ = 1;
-    if ((trace || spanSampleEvery_ > 0) && jsonPath_.empty())
+    if ((trace || spanSampleEvery_ > 0 || tsWindowNs_ > 0) &&
+        jsonPath_.empty())
         jsonPath_ = outDir_ + "/" + benchName_ + "_report.json";
 
     std::error_code ec;
@@ -231,8 +269,32 @@ BenchCli::finish()
     reporter_->setPerf(perf);
     int rc = 0;
     std::string folded; // all captures, label-prefixed, one flame file
+    std::string tsAll;  // all captures' time-series CSV, one header
     for (const RunCapture &cap : captures_) {
         reporter_->addRun(cap);
+        if (!cap.timeseriesCsv.empty()) {
+            std::string path = outDir_ + "/" + benchName_ + "_" +
+                               fileSafe(cap.label) + "_timeseries.csv";
+            std::ofstream os(path);
+            os << cap.timeseriesCsv;
+            if (!os) {
+                std::cerr << benchName_ << ": failed to write '" << path
+                          << "'\n";
+                rc = 1;
+            } else {
+                std::cout << "timeseries: " << path << "\n";
+            }
+            if (!tsOutPath_.empty()) {
+                if (tsAll.empty()) {
+                    tsAll = cap.timeseriesCsv;
+                } else {
+                    // Drop the repeated header line when concatenating.
+                    std::size_t eol = cap.timeseriesCsv.find('\n');
+                    if (eol != std::string::npos)
+                        tsAll += cap.timeseriesCsv.substr(eol + 1);
+                }
+            }
+        }
         if (!cap.spanTrace.empty()) {
             std::string path = outDir_ + "/" + benchName_ + "_" +
                                fileSafe(cap.label) + "_trace.json";
@@ -258,6 +320,17 @@ BenchCli::finish()
                           cap.spanFolded.substr(pos, eol - pos) + "\n";
                 pos = eol + 1;
             }
+        }
+    }
+    if (!tsOutPath_.empty()) {
+        std::ofstream os(tsOutPath_);
+        os << tsAll;
+        if (!os) {
+            std::cerr << benchName_ << ": failed to write '" << tsOutPath_
+                      << "'\n";
+            rc = 1;
+        } else {
+            std::cout << "timeseries (all runs): " << tsOutPath_ << "\n";
         }
     }
     if (!flamePath_.empty()) {

@@ -23,6 +23,12 @@
  *   --shards N     run the simulation on N parallel shards (blades are
  *                  round-robined over shards; clamped to the blade
  *                  count; output is byte-identical at any N)
+ *   --ts-window W  sample every registered metric into windowed time
+ *                  series every W of virtual time (suffix us/ms; plain
+ *                  number = ns; implies a JSON report; also writes
+ *                  <out-dir>/<bench>_<label>_timeseries.csv per run)
+ *   --ts-out PATH  additionally concatenate every captured run's
+ *                  time-series CSV into PATH
  */
 
 #ifndef SMART_HARNESS_BENCH_CLI_HPP
@@ -87,6 +93,16 @@ class BenchCli
     /** Apply --shards to a testbed config (call before building). */
     void configureShards(TestbedConfig &cfg) const { cfg.shards = shards_; }
 
+    /** Time-series window from --ts-window, ns (0 = plane off). */
+    sim::Time tsWindowNs() const { return tsWindowNs_; }
+
+    /** Apply --ts-window to a testbed config (call before building). */
+    void
+    configureTimeline(TestbedConfig &cfg) const
+    {
+        cfg.tsWindowNs = tsWindowNs_;
+    }
+
     /**
      * Apply the cache flags onto @p cfg. Bench defaults survive unless a
      * flag was given: --no-cache wins over everything, --cache-mb sets
@@ -144,6 +160,8 @@ class BenchCli
     std::uint64_t seed_ = 0;
     std::uint32_t spanSampleEvery_ = 0;
     std::uint32_t shards_ = 1;
+    sim::Time tsWindowNs_ = 0;
+    std::string tsOutPath_;
     bool noCache_ = false;
     int cacheMb_ = -1;
     bool cachePolicySet_ = false;

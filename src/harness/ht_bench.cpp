@@ -111,6 +111,15 @@ runHtBench(const TestbedConfig &cfg, const HtBenchParams &params,
         }
     }
 
+    if (params.shiftAtNs != 0) {
+        // One causal annotation for the skew rotation (the workers each
+        // rotate their own generator at the same virtual time).
+        if (sim::Timeline *tl = tb.timeline())
+            tl->annotateAt(params.shiftAtNs, "cache", "workload",
+                           "zipf rotate=" +
+                               std::to_string(params.shiftRotate));
+    }
+
     tb.runUntil(params.warmupNs);
     std::uint64_t ops0 = 0;
     std::uint64_t retries0 = 0;

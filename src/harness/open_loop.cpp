@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <numbers>
 
+#include "sim/timeline.hpp"
 #include "smart/smart_ctx.hpp"
 
 namespace smart::harness {
@@ -127,13 +128,19 @@ OpenLoopDriver::Tenant::Tenant(const TenantConfig &c,
 
 OpenLoopDriver::OpenLoopDriver(Testbed &tb, OpenLoopConfig cfg,
                                ServiceFn service)
-    : tb_(tb), cfg_(std::move(cfg)), service_(std::move(service))
+    : tb_(tb),
+      home_(tb.numComputeBlades() > 0 ? tb.compute(0).sim() : tb.sim()),
+      cfg_(std::move(cfg)), service_(std::move(service))
 {
-    if (tb.shards() > 1) {
-        // Always-on (not assert): arrival loops run on shard 0 but park
-        // and resume service coroutines living on compute-blade shards.
-        std::fprintf(stderr, "OpenLoopDriver: open-loop traffic requires "
-                             "a single-shard simulation (shards=1)\n");
+    if (tb.shards() > 1 && tb.numComputeBlades() > 1) {
+        // Always-on (not assert): with several compute blades the
+        // arrival loops (on compute blade 0's shard) would park and
+        // resume worker coroutines living on other blades' shards.
+        // One compute blade shards fine: the driver is homed on its
+        // shard, so every queue/ticket touch is shard-local.
+        std::fprintf(stderr,
+                     "OpenLoopDriver: multiple compute blades require a "
+                     "single-shard simulation (shards=1)\n");
         std::abort();
     }
     assert(!cfg_.tenants.empty());
@@ -141,10 +148,14 @@ OpenLoopDriver::OpenLoopDriver(Testbed &tb, OpenLoopConfig cfg,
     tenants_.reserve(cfg_.tenants.size());
     for (std::size_t i = 0; i < cfg_.tenants.size(); ++i)
         tenants_.emplace_back(cfg_.tenants[i], cfg_, i);
+    std::uint32_t horizon =
+        cfg_.burn.slowWindows == 0 ? 1 : cfg_.burn.slowWindows;
+    for (Tenant &t : tenants_)
+        t.ring.assign(horizon, {0, 0});
 
     // Register after the vector is fully built: the registry stores
     // references into the (now stable) tenant slots.
-    sim::MetricsRegistry &reg = tb_.sim().metrics();
+    sim::MetricsRegistry &reg = home_.metrics();
     for (std::size_t i = 0; i < tenants_.size(); ++i) {
         Tenant &t = tenants_[i];
         sim::Labels l{{"tenant", t.cfg.name}};
@@ -162,12 +173,26 @@ OpenLoopDriver::OpenLoopDriver(Testbed &tb, OpenLoopConfig cfg,
         reg.registerGauge(this, "smart.tenant.queue_depth", l, [this, i] {
             return static_cast<double>(tenants_[i].queue.size());
         });
+        reg.registerGauge(this, "smart.tenant.violation_fraction", l,
+                          [this, i] { return tenants_[i].fastFrac; });
+        reg.registerGauge(this, "smart.slo.burn_rate",
+                          {{"tenant", t.cfg.name}, {"window", "fast"}},
+                          [this, i] { return tenants_[i].fastFrac; });
+        reg.registerGauge(this, "smart.slo.burn_rate",
+                          {{"tenant", t.cfg.name}, {"window", "slow"}},
+                          [this, i] { return tenants_[i].slowFrac; });
     }
+
+    // The burn-rate detector advances once per time-series window; the
+    // hook runs before the window's metric sampling, so the burn gauges
+    // above are sampled fresh. No plane => no detector (gauges stay 0).
+    if (sim::Timeline *tl = tb_.timeline())
+        tl->addWindowHook([this](Time now) { onWindow(now); });
 }
 
 OpenLoopDriver::~OpenLoopDriver()
 {
-    tb_.sim().metrics().unregisterOwner(this);
+    home_.metrics().unregisterOwner(this);
 }
 
 void
@@ -176,7 +201,7 @@ OpenLoopDriver::start(std::uint32_t workers_per_thread)
     assert(!started_);
     started_ = true;
     for (std::size_t i = 0; i < tenants_.size(); ++i)
-        tb_.sim().spawn(arrivalLoop(i));
+        home_.spawn(arrivalLoop(i));
     for (std::uint32_t c = 0; c < tb_.numComputeBlades(); ++c) {
         SmartRuntime &rt = tb_.compute(c);
         for (std::uint32_t t = 0; t < rt.numThreads(); ++t) {
@@ -206,7 +231,7 @@ Task
 OpenLoopDriver::arrivalLoop(std::size_t ti)
 {
     Tenant &t = tenants_[ti];
-    sim::Simulator &sim = tb_.sim();
+    sim::Simulator &sim = home_;
     for (;;) {
         Time at = t.proc.next();
         co_await sim.delay(at - sim.now());
@@ -290,6 +315,54 @@ OpenLoopDriver::recordAdmissionSpan(SmartCtx &ctx, sim::TrackId &track,
             thread + "/adm" + std::to_string(ctx.coroIndex()), thread);
     }
     sp->record(track, sim::Stage::AdmissionWait, 0, start, end);
+}
+
+void
+OpenLoopDriver::onWindow(Time now)
+{
+    sim::Timeline *tl = tb_.timeline();
+    for (Tenant &t : tenants_) {
+        std::uint64_t done = t.s.completed.value();
+        std::uint64_t viol = t.s.sloViolations.value();
+        // Reset-aware deltas: resetWindow() may zero the counters
+        // mid-run (end of warmup); a regressed value restarts the
+        // cursor instead of underflowing.
+        std::uint64_t d_done = done < t.prevDone ? done : done - t.prevDone;
+        std::uint64_t d_viol = viol < t.prevViol ? viol : viol - t.prevViol;
+        t.prevDone = done;
+        t.prevViol = viol;
+        t.ring[t.ringPos % t.ring.size()] = {d_done, d_viol};
+        ++t.ringPos;
+        t.fastFrac = d_done != 0 ? static_cast<double>(d_viol) /
+                                       static_cast<double>(d_done)
+                                 : 0.0;
+        std::uint64_t slow_done = 0;
+        std::uint64_t slow_viol = 0;
+        for (const auto &[cd, cv] : t.ring) {
+            slow_done += cd;
+            slow_viol += cv;
+        }
+        t.slowFrac = slow_done != 0 ? static_cast<double>(slow_viol) /
+                                          static_cast<double>(slow_done)
+                                    : 0.0;
+        if (t.cfg.sloP99Ns == 0)
+            continue;
+        char frac[64];
+        std::snprintf(frac, sizeof frac, "fast=%.4f slow=%.4f", t.fastFrac,
+                      t.slowFrac);
+        if (!t.burning && t.fastFrac >= cfg_.burn.fastEnter &&
+            t.slowFrac >= cfg_.burn.slowEnter) {
+            t.burning = true;
+            if (tl != nullptr)
+                tl->annotateAt(now, "slo", t.cfg.name,
+                               std::string("burn-enter ") + frac);
+        } else if (t.burning && t.fastFrac < cfg_.burn.fastExit) {
+            t.burning = false;
+            if (tl != nullptr)
+                tl->annotateAt(now, "slo", t.cfg.name,
+                               std::string("burn-exit ") + frac);
+        }
+    }
 }
 
 Json

@@ -123,6 +123,27 @@ struct TenantConfig
     std::uint32_t sessions = 4;
 };
 
+/**
+ * Multi-window SLO burn-rate detector thresholds (SRE-style): a tenant
+ * "enters burn" when its violation fraction exceeds the fast threshold
+ * over the most recent sampling window AND the slow threshold over the
+ * trailing slowWindows windows; it exits only when the fast fraction
+ * drops below the (lower) exit threshold — hysteresis against flapping.
+ * Evaluated once per time-series window (Testbed tsWindowNs), so the
+ * plane must be on for the detector to run.
+ */
+struct BurnConfig
+{
+    /** Trailing windows averaged for the slow signal. */
+    std::uint32_t slowWindows = 8;
+    /** Enter: violation fraction over the last window (1%). */
+    double fastEnter = 0.01;
+    /** Enter: violation fraction over the slow horizon (0.1%). */
+    double slowEnter = 0.001;
+    /** Exit: fast fraction must fall below this (hysteresis). */
+    double fastExit = 0.005;
+};
+
 /** Driver-wide configuration. */
 struct OpenLoopConfig
 {
@@ -134,6 +155,8 @@ struct OpenLoopConfig
     std::uint32_t queueCap = 1024;
     /** Perturbs every arrival/workload RNG stream. */
     std::uint64_t seed = 0;
+    /** SLO burn-rate detector thresholds. */
+    BurnConfig burn;
 };
 
 /**
@@ -196,6 +219,10 @@ class OpenLoopDriver
         return tenants_[i].queue.size();
     }
 
+    /** @return whether tenant @p i is currently in SLO burn (only
+     *  meaningful when the testbed's time-series plane is on). */
+    bool burning(std::size_t i) const { return tenants_[i].burning; }
+
     /**
      * Per-tenant SLO block for Reporter::setSlo():
      * {"<name>": {"target_p99_ns", "observed_p99_ns", "observed_p50_ns",
@@ -223,12 +250,28 @@ class OpenLoopDriver
         std::uint64_t nextSession = 0;
         TenantStats s;
 
+        // Burn-rate detector state, advanced once per time-series
+        // window by onWindow(). Own prev-value cursors (never
+        // Counter::delta(), which would perturb other readers).
+        std::uint64_t prevDone = 0;
+        std::uint64_t prevViol = 0;
+        /** Trailing per-window {completed, violations} deltas. */
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> ring;
+        std::uint64_t ringPos = 0;
+        bool burning = false;
+        double fastFrac = 0.0; ///< last-window violation fraction
+        double slowFrac = 0.0; ///< trailing-horizon violation fraction
+
         Tenant(const TenantConfig &c, const OpenLoopConfig &cfg,
                std::size_t index);
     };
 
     sim::Task arrivalLoop(std::size_t ti);
     sim::Task worker(SmartCtx &ctx);
+
+    /** Time-series window hook: advance every tenant's burn-rate
+     *  detector, emitting "slo" annotations on enter/exit. */
+    void onWindow(sim::Time now);
 
     /** WFQ pick: non-empty tenant with minimal vtime (index order breaks
      *  ties deterministically). @pre some queue is non-empty. */
@@ -246,7 +289,7 @@ class OpenLoopDriver
     postTicket()
     {
         if (!parked_.empty()) {
-            tb_.sim().post(parked_.front());
+            home_.post(parked_.front());
             parked_.pop_front();
         } else {
             ++tickets_;
@@ -284,6 +327,15 @@ class OpenLoopDriver
     }
 
     Testbed &tb_;
+    /**
+     * The Simulator every piece of driver state lives on: compute blade
+     * 0's shard. Arrival loops, the ticket semaphore and the admission
+     * queues all run there, which keeps a single-compute-blade testbed
+     * shardable (the driver and all its workers share one shard; the
+     * memory blades stay on theirs). Multiple compute blades still
+     * require shards=1 — their workers would park cross-shard.
+     */
+    sim::Simulator &home_;
     OpenLoopConfig cfg_;
     ServiceFn service_;
     std::vector<Tenant> tenants_;

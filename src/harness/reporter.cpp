@@ -42,6 +42,8 @@ Reporter::addRun(const RunCapture &cap)
         jr.set("trace", cap.trace.toJson());
     if (cap.spans.isObject())
         jr.set("spans", cap.spans);
+    if (cap.timeseries.isObject())
+        jr.set("timeseries", cap.timeseries);
     runs_.push_back(std::move(jr));
 }
 

@@ -21,6 +21,7 @@
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/span.hpp"
+#include "sim/timeline.hpp"
 #include "sim/trace.hpp"
 #include "smart/smart_config.hpp"
 #include "smart/smart_runtime.hpp"
@@ -64,6 +65,15 @@ struct TestbedConfig
     std::uint32_t spanSampleEvery = 0;
     /** Hard cap on span records (bounds memory; excess is dropped). */
     std::size_t spanMaxRecords = 1u << 20;
+
+    /**
+     * Windowed time-series sampling cadence (sim/timeline.hpp); 0
+     * disables the plane entirely. Works at any shard count: sampling
+     * happens at runUntil() barrier points (no simulation events), so
+     * the simulated run — and the exported block — is byte-identical at
+     * any --shards N.
+     */
+    sim::Time tsWindowNs = 0;
 };
 
 /** A fully wired cluster: every compute blade connected to every blade. */
@@ -96,6 +106,12 @@ class Testbed
                 "cb" + std::to_string(c)));
             for (auto &mb : memBlades_)
                 computeBlades_.back()->connect(*mb);
+        }
+        if (cfg.tsWindowNs > 0) {
+            timeline_ =
+                std::make_unique<sim::Timeline>(cfg.tsWindowNs, shards);
+            for (std::uint32_t s = 0; s < shards; ++s)
+                timeline_->attach(group_.shard(s));
         }
         if (cfg.traceSampleNs > 0) {
             // The tracer samples every blade's metrics from one shard;
@@ -136,8 +152,24 @@ class Testbed
      * Advance the whole cluster to virtual time @p deadline (all shard
      * clocks equal on return). The only way to advance time on a sharded
      * testbed; equivalent to sim().runUntil(deadline) at one shard.
+     *
+     * When the time-series plane is on, the advance is chunked at window
+     * boundaries: each sample happens at a barrier point where every
+     * shard clock equals the window edge, so sampling adds no simulation
+     * events and the run stays byte-identical with the plane off.
      */
-    void runUntil(sim::Time deadline) { group_.runUntil(deadline); }
+    void
+    runUntil(sim::Time deadline)
+    {
+        if (timeline_) {
+            while (timeline_->nextSampleAt() <= deadline) {
+                sim::Time b = timeline_->nextSampleAt();
+                group_.runUntil(b);
+                timeline_->sampleAt(b);
+            }
+        }
+        group_.runUntil(deadline);
+    }
 
     std::uint32_t numMemBlades() const { return memBlades_.size(); }
     memblade::MemoryBlade &memBlade(std::uint32_t i) { return *memBlades_[i]; }
@@ -151,6 +183,9 @@ class Testbed
 
     /** @return the built-in tracer (nullptr unless traceSampleNs > 0). */
     sim::Tracer *tracer() { return tracer_.get(); }
+
+    /** @return the time-series plane (nullptr unless tsWindowNs > 0). */
+    sim::Timeline *timeline() { return timeline_.get(); }
 
     /** @return shard 0's span tracer (nullptr unless spans are on). */
     sim::SpanTracer *spanTracer()
@@ -240,6 +275,8 @@ class Testbed
     std::unique_ptr<sim::FaultPlane> faultPlane_;
     // Declared after group_: tracers uninstall themselves on destruction.
     std::vector<std::unique_ptr<sim::SpanTracer>> spans_;
+    // Declared after group_: uninstalls itself from every shard.
+    std::unique_ptr<sim::Timeline> timeline_;
     // Declared last: sampling coroutine references members above.
     std::unique_ptr<sim::Tracer> tracer_;
 };
@@ -259,6 +296,10 @@ struct RunCapture
     std::string spanTrace;
     /** Collapsed-stack flamegraph lines (empty unless spans recorded). */
     std::string spanFolded;
+    /** Windowed time-series block (null unless the plane was on). */
+    sim::Json timeseries;
+    /** Same data in long-format CSV (empty unless the plane was on). */
+    std::string timeseriesCsv;
 };
 
 /** Fill @p cap (if non-null) from @p tb after a finished run. */
@@ -272,11 +313,34 @@ captureRun(Testbed &tb, RunCapture *cap)
         tb.tracer()->stop();
         cap->trace = tb.tracer()->take();
     }
+    sim::Timeline *tl = tb.timeline();
     if (tb.mergedSpanTracer() != nullptr) {
         sim::SpanTracer &sp = *tb.mergedSpanTracer();
         cap->spans = sp.attribution();
-        cap->spanTrace = sp.chromeTraceString();
+        if (tl != nullptr) {
+            // Merge Timeline counter tracks + annotation instants into
+            // the span trace so one Perfetto load shows both.
+            sim::Json root = sp.chromeTrace();
+            for (auto &[k, v] : root.asObject())
+                if (k == "traceEvents")
+                    tl->appendChromeEvents(v);
+            cap->spanTrace = root.dump(1);
+        } else {
+            cap->spanTrace = sp.chromeTraceString();
+        }
         cap->spanFolded = sp.collapsedStacks();
+    } else if (tl != nullptr && tl->windows() > 0) {
+        // No spans: emit a standalone counter-track trace.
+        sim::Json events = sim::Json::array();
+        tl->appendChromeEvents(events);
+        sim::Json root = sim::Json::object();
+        root.set("traceEvents", std::move(events));
+        root.set("displayTimeUnit", "ns");
+        cap->spanTrace = root.dump(1);
+    }
+    if (tl != nullptr && tl->windows() > 0) {
+        cap->timeseries = tl->toJson();
+        cap->timeseriesCsv = tl->csv(cap->label);
     }
 }
 

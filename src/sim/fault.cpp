@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "sim/timeline.hpp"
+
 namespace smart::sim {
 
 const char *
@@ -79,6 +81,11 @@ FaultPlane::fire(FaultKind kind, const std::string &target, Time duration)
         return;
     injected_.add();
     fired_.push_back({sim_.now(), kind, target});
+    if (Timeline *tl = sim_.timeline()) {
+        tl->annotate(sim_, "fault", target,
+                     std::string(faultKindName(kind)) + " dur=" +
+                         std::to_string(duration));
+    }
     t->applyFault(kind, duration);
 }
 

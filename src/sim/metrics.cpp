@@ -87,8 +87,15 @@ MetricsSnapshot::deltaSince(const MetricsSnapshot &earlier) const
     MetricsSnapshot out = *this;
     for (SnapshotEntry &e : out.entries) {
         const SnapshotEntry *prev = earlier.find(e.id.name, e.id.labels);
-        if (!prev || prev->kind != e.kind)
+        if (!prev || prev->kind != e.kind) {
+            // Registered after @p earlier was taken: fall back to the
+            // registration-time baseline so the first windowed point is
+            // still a delta (growth since registration), not a lifetime
+            // total.
+            if (e.kind == MetricKind::Counter)
+                e.counter -= std::min(e.baseline, e.counter);
             continue;
+        }
         if (e.kind == MetricKind::Counter) {
             e.counter -= std::min(prev->counter, e.counter);
         } else if (e.kind == MetricKind::Histogram) {
@@ -210,6 +217,11 @@ MetricsRegistry::add(Entry e)
     // construction order regardless of how blades map to shards.
     static std::atomic<std::uint64_t> next{1};
     e.stamp = next.fetch_add(1, std::memory_order_relaxed);
+    // Counters may carry history from before registration (a component
+    // re-registering after a reset window, or registered mid-run): the
+    // baseline anchors windowed deltas at the registration point.
+    if (e.kind == MetricKind::Counter)
+        e.baseline = e.counter->value();
     entries_.push_back(std::move(e));
 }
 
@@ -265,6 +277,7 @@ MetricsRegistry::sample(const Entry &e)
     SnapshotEntry s;
     s.id = e.id;
     s.kind = e.kind;
+    s.baseline = e.baseline;
     switch (e.kind) {
       case MetricKind::Counter:
         s.counter = e.counter->value();
@@ -325,6 +338,23 @@ MetricsRegistry::forEachScalar(
         } else if (e.kind == MetricKind::Gauge) {
             fn(e.id, e.kind, e.gauge);
         }
+    }
+}
+
+void
+MetricsRegistry::forEachRaw(
+    const std::function<void(const RawMetric &)> &fn) const
+{
+    for (const Entry &e : entries_) {
+        RawMetric r;
+        r.id = &e.id;
+        r.kind = e.kind;
+        r.stamp = e.stamp;
+        r.baseline = e.baseline;
+        r.counter = e.counter;
+        r.gauge = e.kind == MetricKind::Gauge ? &e.gauge : nullptr;
+        r.hist = e.hist;
+        fn(r);
     }
 }
 

@@ -76,6 +76,14 @@ struct SnapshotEntry
     std::uint64_t counter = 0; ///< MetricKind::Counter
     double gauge = 0;          ///< MetricKind::Gauge
     HistogramSummary hist;     ///< MetricKind::Histogram
+    /**
+     * Counter value at registration time (in-memory only, not
+     * serialized). deltaSince() subtracts it for counters registered
+     * after the earlier snapshot was taken, so a late-registered
+     * counter's first windowed point reports its growth since
+     * registration instead of its lifetime total.
+     */
+    std::uint64_t baseline = 0;
 };
 
 /**
@@ -161,6 +169,28 @@ class MetricsRegistry
                                  const std::function<double()> &)> &fn)
         const;
 
+    /**
+     * Borrowed view of one registration, for samplers that keep their
+     * own per-metric window state (sim/timeline.hpp). Pointers are valid
+     * only inside the forEachRaw callback.
+     */
+    struct RawMetric
+    {
+        const MetricId *id = nullptr;
+        MetricKind kind = MetricKind::Counter;
+        /** Process-global registration stamp (cross-shard merge key). */
+        std::uint64_t stamp = 0;
+        /** Counter value at registration (windowed-delta baseline). */
+        std::uint64_t baseline = 0;
+        const Counter *counter = nullptr;
+        const std::function<double()> *gauge = nullptr;
+        const LatencyHistogram *hist = nullptr;
+    };
+
+    /** Visit every registered metric without sampling it. */
+    void
+    forEachRaw(const std::function<void(const RawMetric &)> &fn) const;
+
   private:
     struct Entry
     {
@@ -172,6 +202,8 @@ class MetricsRegistry
         const LatencyHistogram *hist = nullptr;
         /** Process-global registration order (mergedSnapshot sort key). */
         std::uint64_t stamp = 0;
+        /** Counter value at registration (see RawMetric::baseline). */
+        std::uint64_t baseline = 0;
     };
 
     static SnapshotEntry sample(const Entry &e);

@@ -23,6 +23,7 @@ namespace smart::sim {
 class FaultPlane;
 class FaultTarget;
 class SpanTracer;
+class Timeline;
 
 /**
  * Owns the virtual clock and the event queue, and keeps root coroutines
@@ -184,6 +185,17 @@ class Simulator
     /** Called by SpanTracer's constructor/destructor. */
     void installSpanTracer(SpanTracer *t) { spans_ = t; }
 
+    /**
+     * The installed timeline plane, or nullptr when windowed sampling is
+     * off. Annotation emitters (fault plane, membership plane, overload
+     * ladder, workload rotations) key on this being non-null, so a run
+     * without a timeline pays one pointer load per emission site.
+     */
+    Timeline *timeline() const { return timeline_; }
+
+    /** Called by Timeline::attach and its destructor. */
+    void installTimeline(Timeline *t) { timeline_ = t; }
+
     /** Components that can absorb faults register here (see fault.hpp). */
     void addFaultTarget(FaultTarget *t) { faultTargets_.push_back(t); }
 
@@ -292,6 +304,7 @@ class Simulator
     MetricsRegistry metrics_;
     FaultPlane *fault_ = nullptr;
     SpanTracer *spans_ = nullptr;
+    Timeline *timeline_ = nullptr;
     std::vector<FaultTarget *> faultTargets_;
     WireInbox inbox_;
     ShardLink *link_ = nullptr;

@@ -142,6 +142,16 @@ class LatencyHistogram
         min_ = std::min(min_, o.min_);
     }
 
+    /** @return sum of all recorded samples (windowed-delta support). */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Raw bucket counts (windowed-delta support; see HistogramWindow). */
+    const std::array<std::uint64_t, (kOctaves << kSubBits)> &
+    buckets() const
+    {
+        return counts_;
+    }
+
     /** Bucket index of value @p ns (public for serialization and tests). */
     static int
     bucketOf(std::uint64_t ns)
@@ -192,6 +202,105 @@ class LatencyHistogram
     std::uint64_t sum_ = 0;
     std::uint64_t max_ = 0;
     std::uint64_t min_ = ~std::uint64_t{0};
+};
+
+/** Fixed-size summary of one *window* of histogram samples. min/max are
+ *  bucket-edge approximations (the histogram only tracks lifetime
+ *  extremes); percentiles are exact nearest-rank over the window's own
+ *  delta buckets. */
+struct WindowSummary
+{
+    std::uint64_t count = 0;
+    double mean = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+
+    bool operator==(const WindowSummary &) const = default;
+};
+
+/**
+ * Windowed view over a cumulative LatencyHistogram: remembers the bucket
+ * array at the previous window boundary and summarizes only the samples
+ * recorded since. This is the correct per-window percentile — computing
+ * p99 from the cumulative histogram reports the lifetime distribution,
+ * which hides latency regime shifts mid-run entirely.
+ */
+class HistogramWindow
+{
+  public:
+    /**
+     * Summarize @p cur's growth since the previous advance() (since
+     * construction on the first call), then rebase onto @p cur. A
+     * histogram reset mid-window (count or sum went backwards) is
+     * detected and the previous state treated as empty, so the summary
+     * reports the post-reset samples instead of wrapping.
+     */
+    WindowSummary
+    advance(const LatencyHistogram &cur)
+    {
+        const auto &buckets = cur.buckets();
+        if (cur.count() < prevCount_ || cur.sum() < prevSum_) {
+            prev_.fill(0);
+            prevCount_ = 0;
+            prevSum_ = 0;
+        }
+        WindowSummary s;
+        s.count = cur.count() - prevCount_;
+        std::uint64_t dsum = cur.sum() - prevSum_;
+        s.mean = s.count ? static_cast<double>(dsum) /
+                               static_cast<double>(s.count)
+                         : 0.0;
+        if (s.count > 0) {
+            int first = -1;
+            int last = -1;
+            for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+                if (buckets[b] > prev_[b]) {
+                    if (first < 0)
+                        first = b;
+                    last = b;
+                }
+            }
+            std::uint64_t lo = LatencyHistogram::bucketLo(first);
+            std::uint64_t hi = LatencyHistogram::bucketMid(last);
+            s.min = lo;
+            s.max = hi;
+            s.p50 = deltaPercentile(buckets, 50.0, s.count, lo, hi);
+            s.p99 = deltaPercentile(buckets, 99.0, s.count, lo, hi);
+            s.p999 = deltaPercentile(buckets, 99.9, s.count, lo, hi);
+        }
+        prev_ = buckets;
+        prevCount_ = cur.count();
+        prevSum_ = cur.sum();
+        return s;
+    }
+
+  private:
+    /** Nearest-rank percentile over (buckets - prev_), clamped to the
+     *  window's own bucket-edge extremes like
+     *  LatencyHistogram::percentile clamps to lifetime min/max. */
+    std::uint64_t
+    deltaPercentile(
+        const std::array<std::uint64_t, LatencyHistogram::kBuckets> &cur,
+        double p, std::uint64_t total, std::uint64_t lo,
+        std::uint64_t hi) const
+    {
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            p / 100.0 * static_cast<double>(total - 1)) + 1;
+        std::uint64_t seen = 0;
+        for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+            seen += cur[b] - prev_[b];
+            if (seen >= rank)
+                return std::clamp(LatencyHistogram::bucketMid(b), lo, hi);
+        }
+        return hi;
+    }
+
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> prev_{};
+    std::uint64_t prevCount_ = 0;
+    std::uint64_t prevSum_ = 0;
 };
 
 } // namespace smart::sim

@@ -12,11 +12,26 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/timeline.hpp"
 #include "smart/backoff.hpp"
 #include "smart/cache/buffer_manager.hpp"
 #include "smart/smart_ctx.hpp"
 
 namespace smart {
+
+namespace {
+
+/** Causal-log emitter: one line per membership event, keyed on the
+ *  timeline being installed (nullptr => free). */
+void
+noteMembership(sim::Simulator &sim, const std::string &target,
+               std::string detail)
+{
+    if (sim::Timeline *tl = sim.timeline())
+        tl->annotate(sim, "membership", target, std::move(detail));
+}
+
+} // namespace
 
 MembershipPlane::MembershipPlane(sim::Simulator &sim, Config cfg,
                                  std::string name)
@@ -151,6 +166,8 @@ MembershipPlane::join(memblade::MemoryBlade &blade)
     allocRegion(blade);
     view_.set(idx, BladeState::Joining);
     joins_.add();
+    noteMembership(sim_, blade.faultTargetName(),
+                   "join epoch=" + std::to_string(view_.epoch()));
     enqueue({PendingOp::Kind::Join, idx});
     return idx;
 }
@@ -170,6 +187,8 @@ MembershipPlane::rejoin(std::uint32_t blade_idx)
         return;
     view_.set(blade_idx, BladeState::Joining);
     joins_.add();
+    noteMembership(sim_, blades_[blade_idx]->faultTargetName(),
+                   "rejoin epoch=" + std::to_string(view_.epoch()));
     enqueue({PendingOp::Kind::Join, blade_idx});
 }
 
@@ -182,6 +201,8 @@ MembershipPlane::drain(std::uint32_t blade_idx)
         return;
     view_.set(blade_idx, BladeState::Draining);
     drains_.add();
+    noteMembership(sim_, blades_[blade_idx]->faultTargetName(),
+                   "drain epoch=" + std::to_string(view_.epoch()));
     enqueue({PendingOp::Kind::Drain, blade_idx});
 }
 
@@ -334,8 +355,12 @@ MembershipPlane::joinTask(SmartCtx &ctx, std::uint32_t idx)
             break;
         }
     }
-    if (view_.state(idx) == BladeState::Joining)
+    if (view_.state(idx) == BladeState::Joining) {
         view_.set(idx, BladeState::Active);
+        noteMembership(sim_, blades_[idx]->faultTargetName(),
+                       "join-complete epoch=" +
+                           std::to_string(view_.epoch()));
+    }
 }
 
 sim::Task
@@ -365,8 +390,12 @@ MembershipPlane::drainTask(SmartCtx &ctx, std::uint32_t idx)
     }
     if (view_.state(idx) != BladeState::Draining)
         co_return;
-    view_.set(idx,
-              partsOn(idx) == 0 ? BladeState::Dead : BladeState::Active);
+    bool emptied = partsOn(idx) == 0;
+    view_.set(idx, emptied ? BladeState::Dead : BladeState::Active);
+    noteMembership(sim_, blades_[idx]->faultTargetName(),
+                   std::string("drain-complete state=") +
+                       (emptied ? "dead" : "active") +
+                       " epoch=" + std::to_string(view_.epoch()));
 }
 
 sim::Task
@@ -510,6 +539,9 @@ MembershipPlane::healthLoop()
             // then drop the corpse's cached lines, then re-place.
             view_.set(i, BladeState::Dead);
             failovers_.add();
+            noteMembership(sim_, blades_[i]->faultTargetName(),
+                           "failover epoch=" +
+                               std::to_string(view_.epoch()));
             for (SmartRuntime *rt : runtimes_)
                 if (cache::BufferManager *bm = rt->cache())
                     bm->flushBlade(i);

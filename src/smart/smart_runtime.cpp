@@ -7,6 +7,7 @@
 
 #include <cassert>
 
+#include "sim/timeline.hpp"
 #include "smart/cache/buffer_manager.hpp"
 #include "smart/smart_ctx.hpp"
 
@@ -113,8 +114,10 @@ SmartThread::stageWr(std::uint32_t blade_idx, rnic::WorkReq wr)
     wr.bladeIdx = blade_idx;
     // Outstanding accounting feeds the degradation ladder: +1 here,
     // -1 when the CQE dispatches (every staged WR gets exactly one).
-    if (rt_.bladeOutstanding_.size() > blade_idx)
+    if (rt_.bladeOutstanding_.size() > blade_idx) {
         ++rt_.bladeOutstanding_[blade_idx];
+        rt_.noteOverloadTransition(blade_idx);
+    }
     StagedQueue &q = staged_[blade_idx];
     if (q.wrs.size() == q.wrs.capacity())
         ++stageBufGrowths_; // warm-up only; steady state must not grow
@@ -339,8 +342,10 @@ SmartRuntime::dispatchCqe(const verbs::Wc &wc, const rnic::WorkReq &wr)
     assert(state != nullptr);
     SmartThread *thr = state->thread;
     SmartRuntime &rt = thr->runtime();
-    if (wr.bladeIdx < rt.bladeOutstanding_.size())
+    if (wr.bladeIdx < rt.bladeOutstanding_.size()) {
         --rt.bladeOutstanding_[wr.bladeIdx];
+        rt.noteOverloadTransition(wr.bladeIdx);
+    }
     if (wc.status == rnic::WcStatus::Success)
         thr->completedWrs.add();
     if (thr->runtime().config().workReqThrottle)
@@ -373,6 +378,25 @@ SmartRuntime::dispatchCqe(const verbs::Wc &wc, const rnic::WorkReq &wr)
     }
 }
 
+void
+SmartRuntime::noteOverloadTransition(std::uint32_t blade_idx)
+{
+    // Two loads + a compare on the accounting fast path; the string work
+    // only happens on an actual level crossing with a timeline installed.
+    sim::Timeline *tl = sim_.timeline();
+    if (tl == nullptr || cfg_.overloadLowWm == 0 ||
+        blade_idx >= lastOverloadLevel_.size())
+        return;
+    std::uint32_t lv = overloadLevel(blade_idx);
+    std::uint32_t &prev = lastOverloadLevel_[blade_idx];
+    if (lv == prev)
+        return;
+    tl->annotate(sim_, "degradation", bladeRnics_[blade_idx]->name(),
+                 name_ + " level " + std::to_string(prev) + "->" +
+                     std::to_string(lv));
+    prev = lv;
+}
+
 std::uint32_t
 SmartRuntime::connect(memblade::MemoryBlade &blade)
 {
@@ -382,6 +406,7 @@ SmartRuntime::connect(memblade::MemoryBlade &blade)
         thr->staged_.resize(blades_.size());
     std::uint32_t idx = blades_.size() - 1;
     bladeOutstanding_.resize(blades_.size(), 0);
+    lastOverloadLevel_.resize(blades_.size(), 0);
     sim_.metrics().registerGauge(
         this, "smart.overload.outstanding",
         {{"blade", name_}, {"target", blade.rnic().name()}},

@@ -471,6 +471,8 @@ class SmartRuntime
     sim::Task conflictLoop(SmartThread &t);
     static void dispatchCqe(const verbs::Wc &wc, const rnic::WorkReq &wr);
     void installDispatch(verbs::Cq &cq);
+    /** Timeline annotation when @p blade_idx crosses a ladder level. */
+    void noteOverloadTransition(std::uint32_t blade_idx);
 
     sim::Simulator &sim_;
     SmartConfig cfg_;
@@ -510,6 +512,8 @@ class SmartRuntime
     // Per-blade outstanding-WR accounting (degradation ladder inputs):
     // +1 at stage, -1 at CQE dispatch; grown at connect().
     std::vector<std::int64_t> bladeOutstanding_;
+    /** Last observed ladder level per blade (timeline annotations). */
+    std::vector<std::uint32_t> lastOverloadLevel_;
     sim::Counter shedPrefetch_;
     sim::Counter chunkedPosts_;
     sim::Counter opDelays_;
